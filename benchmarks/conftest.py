@@ -1,0 +1,43 @@
+"""Shared helpers for the figure-regeneration benchmark suite.
+
+Each benchmark regenerates one of the paper's figures, prints it as a
+text table (run pytest with ``-s`` to see them), asserts the paper's
+qualitative claims about it, and appends the series to
+``benchmarks/results/`` as CSV for external plotting.
+
+Grid resolution: set ``REPRO_BENCH_SCALE=full`` for the paper's full
+grids (slower); the default ``quick`` grids preserve every claim-bearing
+point.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness.figures import FigureResult
+from repro.harness.report import render_table, to_csv
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    value = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if value not in ("quick", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be quick or full, got {value!r}")
+    return value
+
+
+@pytest.fixture()
+def publish():
+    """Print the figure table and persist its CSV."""
+
+    def _publish(figure: FigureResult) -> None:
+        print()
+        print(render_table(figure))
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{figure.figure_id}.csv"
+        path.write_text(to_csv(figure))
+
+    return _publish

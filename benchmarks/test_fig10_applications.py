@@ -1,0 +1,60 @@
+"""Figure 10: the application case studies (BFS, Bloom, Memcached,
+plus the 4-read microbenchmark), four panels at 1 us.
+
+Paper: single-core prefetch reaches "between 35% to 65% of the DRAM
+baseline" (a); single-core SWQ "only 20% to 50%" (b); eight-core
+prefetch is "fundamentally prevented" from scaling by the 14-entry
+queue (c); eight-core SWQ peaks "between 1.2x to 2.0x of the DRAM
+baseline performance of a single core" (d); and "the application
+behavior is very similar to the microbenchmark behavior in the
+presence of MLP".
+"""
+
+import pytest
+
+from repro.harness.applications import APPLICATIONS
+from repro.harness.figures import fig10
+
+
+def test_fig10_applications(benchmark, scale, publish):
+    figure = benchmark.pedantic(fig10, args=(scale,), rounds=1, iterations=1)
+    publish(figure)
+
+    max_threads = max(x for x, _ in figure.get("a/bfs").points)
+
+    # Panel (a): single-core prefetch lands in the paper's band at the
+    # LFB limit.
+    for app in APPLICATIONS:
+        peak = figure.get(f"a/{app}").peak()
+        assert 0.25 <= peak <= 1.1, (app, peak)
+
+    # Panel (b): single-core SWQ is well below prefetch at low thread
+    # counts (software overhead per access); at high thread counts the
+    # 4-read apps may cross over, exactly as in Figure 7's 4us curves.
+    for app in APPLICATIONS:
+        assert figure.get(f"b/{app}").y_at(4) < 0.8 * figure.get(f"a/{app}").y_at(4)
+        assert figure.get(f"b/{app}").peak() < 0.5  # the paper's 20-50% band
+
+    # Panel (c): eight-core prefetch is capped by the 14-entry chip
+    # queue -- no app scales anywhere near 8x its single-core peak.
+    for app in APPLICATIONS:
+        eight = figure.get(f"c/{app}").peak()
+        one = figure.get(f"a/{app}").peak()
+        assert eight < 3 * one, (app, eight, one)
+
+    # Panel (d): eight-core SWQ scales past the prefetch ceiling for
+    # the batched (4-read-like) applications and exceeds the 1-thread
+    # DRAM baseline.
+    for app in ("bloom", "memcached", "microbench-4read"):
+        assert figure.get(f"d/{app}").peak() > 0.8, app
+        assert (
+            figure.get(f"d/{app}").peak()
+            > 2.2 * figure.get(f"b/{app}").peak()
+        )
+
+    # The 4-read microbenchmark tracks the batched applications: Bloom
+    # (a pure 4-read workload) behaves like it in every panel.
+    for panel in ("a", "b", "d"):
+        bloom = figure.get(f"{panel}/bloom").y_at(max_threads)
+        micro = figure.get(f"{panel}/microbench-4read").y_at(max_threads)
+        assert bloom == pytest.approx(micro, rel=0.45), (panel, bloom, micro)

@@ -1,0 +1,33 @@
+"""Figure 2: on-demand access of the microsecond-latency device.
+
+Paper: "the performance drop is abysmal ... only when there is a large
+amount of work per device access (e.g., 5,000 instructions), the
+performance impact is partially abated."
+"""
+
+from repro.harness.figures import fig2
+
+
+def test_fig2_on_demand_access(benchmark, scale, publish):
+    figure = benchmark.pedantic(fig2, args=(scale,), rounds=1, iterations=1)
+    publish(figure)
+
+    for latency in ("1us", "2us", "4us"):
+        series = figure.get(latency)
+        # Abysmal at realistic work counts...
+        assert series.y_at(10) < 0.15
+        # ...partially abated only at 5000 instructions per access...
+        assert series.y_at(5000) > 3 * series.y_at(10)
+        # ...yet still below the DRAM baseline.
+        assert series.peak() < 0.8
+        # Monotonically improving with work-count.
+        ys = series.ys()
+        assert all(a <= b + 0.02 for a, b in zip(ys, ys[1:]))
+
+    # Longer device latency is uniformly worse.
+    for work in (10, 5000):
+        assert (
+            figure.get("1us").y_at(work)
+            > figure.get("2us").y_at(work)
+            > figure.get("4us").y_at(work)
+        )

@@ -1,0 +1,33 @@
+"""Figure 3: prefetch-based access with various latencies.
+
+Paper: performance rises with thread count; "at 10 threads and 1us
+device latency, the performance is similar to running the application
+with data in DRAM" (marginally better); "after reaching 10 threads,
+additional threads do not improve performance" (the LFB limit);
+"longer device latencies result in a shallower slope".
+"""
+
+import pytest
+
+from repro.harness.figures import fig3
+
+
+def test_fig3_prefetch_with_various_latencies(benchmark, scale, publish):
+    figure = benchmark.pedantic(fig3, args=(scale,), rounds=1, iterations=1)
+    publish(figure)
+
+    one_us = figure.get("1us")
+    # DRAM parity (marginally above) at 10 threads.
+    assert 0.95 < one_us.y_at(10) < 1.25
+    # Linear-ish scaling before the limit.
+    assert one_us.y_at(8) > 7 * one_us.y_at(1)
+    # Plateau after 10 threads.
+    assert one_us.y_at(16) == pytest.approx(one_us.y_at(10), rel=0.1)
+
+    # Shallower slopes and proportionally lower plateaus for 2us / 4us.
+    for latency, divisor in (("2us", 2), ("4us", 4)):
+        series = figure.get(latency)
+        assert series.y_at(16) == pytest.approx(
+            one_us.y_at(16) / divisor, rel=0.2
+        )
+        assert series.y_at(4) < one_us.y_at(4)

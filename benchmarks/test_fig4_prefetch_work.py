@@ -1,0 +1,46 @@
+"""Figure 4: 1 us prefetch-based access with various work counts.
+
+Paper: "with more work, fewer threads are needed to hide the device
+latency and match the performance of the DRAM baseline."
+"""
+
+from repro.harness.figures import fig4
+
+
+def threads_to_reach(series, fraction):
+    """First thread count whose normalized IPC reaches ``fraction``."""
+    for x, y in series.points:
+        if y >= fraction:
+            return x
+    return float("inf")
+
+
+def test_fig4_prefetch_with_various_work_counts(benchmark, scale, publish):
+    figure = benchmark.pedantic(fig4, args=(scale,), rounds=1, iterations=1)
+    publish(figure)
+
+    works = sorted(
+        int(series.label.split("=")[1]) for series in figure.series
+    )
+    crossover = {
+        work: threads_to_reach(figure.get(f"work={work}"), 0.9) for work in works
+    }
+    # More work per access -> parity at fewer threads (non-increasing).
+    ordered = [crossover[work] for work in works]
+    assert all(a >= b for a, b in zip(ordered, ordered[1:]))
+    # The largest work-count reaches parity with just a few threads.
+    assert crossover[works[-1]] <= 4
+    # The smallest never gets there: its per-access demand exceeds what
+    # 10 LFBs deliver, so it plateaus below the baseline.
+    assert crossover[works[0]] == float("inf")
+    assert figure.get(f"work={works[0]}").peak() < 0.7
+    # Work-counts of 200+ all reach the baseline eventually.
+    for work in works[1:]:
+        assert figure.get(f"work={work}").peak() > 0.9
+    # Before anyone saturates (1-2 threads), more work per access is
+    # uniformly better.  (Saturated values are NOT ordered by work:
+    # as work grows, both device and baseline become compute-bound and
+    # every curve converges toward 1.)
+    for x in (1, 2):
+        values = [figure.get(f"work={w}").y_at(x) for w in works]
+        assert all(a <= b + 0.03 for a, b in zip(values, values[1:])), x

@@ -1,0 +1,33 @@
+"""Figure 5: multicore prefetch-based access.
+
+Paper: "with a few threads per core, the multi-core performance scales
+linearly"; multicore exceeds the single-core LFB cap; but "the on-chip
+interconnect ... has another hardware queue which is shared among the
+cores" with a measured maximum occupancy of 14, which caps the
+aggregate.
+"""
+
+import pytest
+
+from repro.harness.figures import fig5
+
+
+def test_fig5_multicore_prefetch(benchmark, scale, publish):
+    figure = benchmark.pedantic(fig5, args=(scale,), rounds=1, iterations=1)
+    publish(figure)
+
+    for latency in ("1us", "4us"):
+        one = figure.get(f"{latency}/1core")
+        two = figure.get(f"{latency}/2core")
+        four = figure.get(f"{latency}/4core")
+        eight = figure.get(f"{latency}/8core")
+        # Linear scaling at low thread counts.
+        assert two.y_at(1) == pytest.approx(2 * one.y_at(1), rel=0.1)
+        assert four.y_at(1) == pytest.approx(4 * one.y_at(1), rel=0.1)
+        # The shared 14-entry queue caps the aggregate: every
+        # multicore curve converges to the same ceiling, ~1.4x the
+        # single-core (10-LFB) plateau.
+        ceiling = two.peak()
+        assert four.peak() == pytest.approx(ceiling, rel=0.08)
+        assert eight.peak() == pytest.approx(ceiling, rel=0.08)
+        assert ceiling == pytest.approx(1.4 * one.peak(), rel=0.12)

@@ -1,0 +1,36 @@
+"""Figure 6: 1 us prefetch-based access at MLP 1 / 2 / 4.
+
+Paper: "the 2- and 4-read variants gain just as much performance from
+the first several threads ... while the 1-read case can scale to 10
+threads before filling up the LFBs, the 2-read system tops out at 5
+threads, and the 4-read system peaks at 3 threads"; "the LFB limit is
+more problematic for applications with inherent MLP, severely limiting
+their performance compared to the DRAM baseline."
+"""
+
+import pytest
+
+from repro.harness.figures import fig6
+
+
+def test_fig6_prefetch_mlp(benchmark, scale, publish):
+    figure = benchmark.pedantic(fig6, args=(scale,), rounds=1, iterations=1)
+    publish(figure)
+
+    one = figure.get("1-read")
+    two = figure.get("2-read")
+    four = figure.get("4-read")
+
+    # Early threads help all variants about equally.
+    assert two.y_at(2) == pytest.approx(one.y_at(2), rel=0.15)
+    assert four.y_at(2) == pytest.approx(one.y_at(2), rel=0.2)
+
+    # Top-out points: 10 / 5 / 3 threads.
+    assert one.y_at(16) == pytest.approx(one.y_at(10), rel=0.1)
+    assert one.y_at(10) > 1.5 * one.y_at(5)
+    assert two.y_at(10) == pytest.approx(two.y_at(5), rel=0.1)
+    assert four.y_at(8) == pytest.approx(four.y_at(3), rel=0.15)
+
+    # Severe relative loss versus the matching-MLP baseline.
+    assert one.peak() > two.peak() > four.peak()
+    assert four.peak() < 0.4

@@ -1,0 +1,41 @@
+"""Figure 7: application-managed queues vs prefetch-based access.
+
+Paper: "for higher latency, when the prefetch-based access encounters
+the LFB limit, the application-managed queues continue to gain
+performance with increasing thread count"; "the queue management
+overhead ... limits the peak performance of the application-managed
+queues to just 50% of the DRAM baseline"; peaks are reached "at 10
+threads and 1us, or 24 threads and 4us".
+"""
+
+import pytest
+
+from repro.harness.figures import fig7
+
+
+def test_fig7_swq_vs_prefetch(benchmark, scale, publish):
+    figure = benchmark.pedantic(fig7, args=(scale,), rounds=1, iterations=1)
+    publish(figure)
+
+    swq1 = figure.get("swq/1us")
+    swq4 = figure.get("swq/4us")
+    pf1 = figure.get("prefetch/1us")
+    pf4 = figure.get("prefetch/4us")
+
+    # SWQ peak ~50% of the DRAM baseline, at both latencies.
+    assert swq1.peak() == pytest.approx(0.5, abs=0.07)
+    assert swq4.peak() == pytest.approx(0.5, abs=0.07)
+
+    # Prefetch at 1us beats SWQ outright (LFBs suffice).
+    assert pf1.peak() > 1.8 * swq1.peak()
+
+    # At 4us, prefetch is pinned by the LFBs while SWQ keeps gaining
+    # with thread count and overtakes it.
+    assert pf4.y_at(32) == pytest.approx(pf4.y_at(10), rel=0.1)
+    assert swq4.y_at(24) > 2 * swq4.y_at(10)
+    assert swq4.y_at(32) > pf4.y_at(32)
+
+    # SWQ 1us saturates by ~16 threads; 4us needs ~24-32.
+    assert swq1.y_at(16) > 0.9 * swq1.peak()
+    assert swq4.y_at(16) < 0.75 * swq4.peak()
+    assert swq4.y_at(24) > 0.85 * swq4.peak()

@@ -1,0 +1,34 @@
+"""Figure 9: impact of MLP on software-managed queues.
+
+Paper: "the peak performance of the application-managed queues on a
+workload with MLP of 2.0 is 45% relative to the DRAM baseline; going
+to an MLP of 4.0 ... only 35%"; with four cores, higher MLP "puts
+greater strain on the PCIe bandwidth", peaking earlier and lower.
+"""
+
+import pytest
+
+from repro.harness.figures import fig9
+
+
+def test_fig9_swq_mlp(benchmark, scale, publish):
+    figure = benchmark.pedantic(fig9, args=(scale,), rounds=1, iterations=1)
+    publish(figure)
+
+    one = figure.get("1core/1-read")
+    two = figure.get("1core/2-read")
+    four = figure.get("1core/4-read")
+
+    # Single-core peaks: ~50% / ~45% / ~35% (we accept the ordering
+    # with the 1-read anchor pinned).
+    assert one.peak() == pytest.approx(0.5, abs=0.07)
+    assert one.peak() > two.peak() > four.peak()
+    assert four.peak() > 0.2
+
+    # Four cores: relative MLP penalty persists, and the MLP-4 curve
+    # saturates at lower thread counts (PCIe strain).
+    q1 = figure.get("4core/1-read")
+    q4 = figure.get("4core/4-read")
+    assert q1.peak() > q4.peak()
+    assert q4.y_at(16) > 0.9 * q4.peak()  # already saturated below 16
+    assert q1.y_at(8) < 0.85 * q1.peak()  # 1-read still climbing at 8

@@ -1,0 +1,69 @@
+"""Meta-benchmark: wall-clock throughput of the simulator itself.
+
+Not a paper figure -- this guards against performance regressions in
+the discrete-event kernel, which every experiment's runtime depends
+on.  Unlike the figure benchmarks (pedantic, one round), these use
+pytest-benchmark's normal timing loop.
+"""
+
+from repro.config import AccessMechanism, DeviceConfig, SystemConfig
+from repro.harness.experiment import MeasureWindow, run_microbench
+from repro.sim import Simulator, Store
+from repro.workloads.microbench import MicrobenchSpec
+
+WINDOW = MeasureWindow(warmup_us=10.0, measure_us=40.0)
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw kernel: a producer/consumer pair exchanging 10k items."""
+
+    def run():
+        sim = Simulator()
+        store = Store(sim, capacity=16)
+
+        def producer():
+            for i in range(10_000):
+                yield store.put(i)
+
+        def consumer():
+            total = 0
+            for _ in range(10_000):
+                total += yield store.get()
+            return total
+
+        sim.process(producer())
+        done = sim.process(consumer())
+        return sim.run(done)
+
+    result = benchmark(run)
+    assert result == sum(range(10_000))
+
+
+def test_prefetch_system_throughput(benchmark):
+    """A full platform simulating 50 us of a 10-thread prefetch run."""
+
+    def run():
+        config = SystemConfig(
+            mechanism=AccessMechanism.PREFETCH,
+            threads_per_core=10,
+            device=DeviceConfig(total_latency_us=1.0),
+        )
+        return run_microbench(config, MicrobenchSpec(work_count=200), WINDOW)
+
+    result = benchmark(run)
+    assert result.stats.accesses > 100
+
+
+def test_swq_system_throughput(benchmark):
+    """A full platform simulating 50 us of a 16-thread SWQ run."""
+
+    def run():
+        config = SystemConfig(
+            mechanism=AccessMechanism.SOFTWARE_QUEUE,
+            threads_per_core=16,
+            device=DeviceConfig(total_latency_us=1.0),
+        )
+        return run_microbench(config, MicrobenchSpec(work_count=200), WINDOW)
+
+    result = benchmark(run)
+    assert result.stats.accesses > 100

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Graph analytics on microsecond-latency storage.
+
+Stores a Graph500-style graph in the emulated device and runs a
+parallel BFS through the prefetch-based access API, then checks the
+result against a pure-Python reference traversal and reports the
+slowdown relative to an all-in-DRAM baseline.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from collections import deque
+
+from repro import AccessMechanism, BackingStore, DeviceConfig, SystemConfig
+from repro.host.system import System
+from repro.units import to_us
+from repro.workloads.bfs import BfsParams, generate_graph, install_bfs
+
+
+def reference_distances(adjacency, source):
+    """Plain BFS, the correctness oracle."""
+    distance = [-1] * len(adjacency)
+    distance[source] = 0
+    frontier = deque([source])
+    while frontier:
+        vertex = frontier.popleft()
+        for neighbor in adjacency[vertex]:
+            if distance[neighbor] < 0:
+                distance[neighbor] = distance[vertex] + 1
+                frontier.append(neighbor)
+    return distance
+
+
+def run_traversal(mechanism, backing, threads, params):
+    config = SystemConfig(
+        mechanism=mechanism,
+        backing=backing,
+        threads_per_core=threads,
+        device=DeviceConfig(total_latency_us=1.0),
+    )
+    system = System(config)
+    runs = install_bfs(system, params, threads)
+    ticks = system.run_to_completion(limit_ticks=10**12)
+    return runs[0], ticks
+
+
+def main() -> None:
+    params = BfsParams(vertices=1024, average_degree=16, work_count=50)
+    adjacency = generate_graph(params)
+    expected = reference_distances(adjacency, params.source)
+
+    print(f"graph: {params.vertices} vertices, "
+          f"{sum(len(n) for n in adjacency)} directed edges")
+
+    baseline_run, baseline_ticks = run_traversal(
+        AccessMechanism.ON_DEMAND, BackingStore.DRAM, 1, params
+    )
+    assert baseline_run.distance == expected, "baseline traversal wrong"
+    print(f"DRAM baseline (1 thread):        {to_us(baseline_ticks):9.1f} us")
+
+    for threads in (1, 4, 8, 16):
+        run, ticks = run_traversal(
+            AccessMechanism.PREFETCH, BackingStore.DEVICE, threads, params
+        )
+        assert run.distance == expected, "device traversal wrong"
+        ratio = baseline_ticks / ticks
+        print(
+            f"1us device, prefetch, {threads:2d} threads: {to_us(ticks):9.1f} us"
+            f"   ({ratio:.2f}x of baseline, {run.level} levels)"
+        )
+
+    print()
+    print("Every traversal computed identical distances; threading hides")
+    print("a growing share of the microsecond latency, up to the LFB cap.")
+
+
+if __name__ == "__main__":
+    main()

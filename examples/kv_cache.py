@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A Memcached-style key-value cache backed by microsecond storage.
+
+Builds a chained hash table in the emulated device, runs GET streams
+through each access mechanism, verifies every returned value against
+the deterministic value function, and compares per-GET latency.
+
+Run:  python examples/kv_cache.py
+"""
+
+from repro import AccessMechanism, BackingStore, DeviceConfig, SystemConfig
+from repro.host.system import System
+from repro.units import to_ns
+from repro.workloads.memcached import (
+    MemcachedParams,
+    install_memcached,
+    make_get_keys,
+    value_word,
+)
+
+
+def run_gets(mechanism, backing, threads):
+    params = MemcachedParams(items=2048, buckets=2048, gets_per_thread=32)
+    config = SystemConfig(
+        mechanism=mechanism,
+        backing=backing,
+        threads_per_core=threads,
+        device=DeviceConfig(total_latency_us=1.0),
+    )
+    system = System(config)
+    results = install_memcached(system, params, threads)
+    ticks = system.run_to_completion(limit_ticks=10**12)
+
+    checked = 0
+    for (core, slot), values in results.items():
+        keys = make_get_keys(params, thread_seed=core * 1000 + slot)
+        for key, value in zip(keys, values):
+            assert value is not None, f"GET miss for populated key {key}"
+            for line, word in enumerate(value):
+                assert word == value_word(key, line * 8), "value corrupted"
+            checked += 1
+    total_gets = sum(len(values) for values in results.values())
+    return ticks / total_gets, checked
+
+
+def main() -> None:
+    print(f"{'configuration':42s} {'ns / GET':>10s} {'verified':>9s}")
+    baseline_ns, checked = run_gets(
+        AccessMechanism.ON_DEMAND, BackingStore.DRAM, threads=1
+    )
+    print(f"{'DRAM baseline, 1 thread':42s} {to_ns(baseline_ns):>10.0f} {checked:>9d}")
+
+    for mechanism, threads in (
+        (AccessMechanism.ON_DEMAND, 1),
+        (AccessMechanism.PREFETCH, 10),
+        (AccessMechanism.SOFTWARE_QUEUE, 16),
+    ):
+        per_get, checked = run_gets(mechanism, BackingStore.DEVICE, threads)
+        label = f"1us device, {mechanism.value}, {threads} threads"
+        print(f"{label:42s} {to_ns(per_get):>10.0f} {checked:>9d}")
+
+    print()
+    print("Every GET returned the exact stored bytes on every mechanism;")
+    print("the mechanisms differ only in how much latency they hide.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Serial dependence chains: what nothing can hide — and what can.
+
+The paper's motivation (section I): microsecond latencies are deadly
+"especially in the presence of pointer-based serial dependence chains".
+Within one chain, even the prefetch mechanism is helpless — the next
+address is unknown until the current load returns.  Across chains,
+user-level threading recovers all the parallelism: each thread walks
+its own chain, and every context switch overlaps another chain's hop.
+
+Run:  python examples/pointer_chase.py
+"""
+
+from repro import AccessMechanism, DeviceConfig, SystemConfig
+from repro.host.system import System
+from repro.units import to_us
+from repro.workloads.pointer_chase import PointerChaseParams, install_pointer_chase
+
+PARAMS = PointerChaseParams(nodes=256, hops_per_thread=48, work_count=100)
+
+
+def run(mechanism, threads):
+    config = SystemConfig(
+        mechanism=mechanism,
+        threads_per_core=threads,
+        device=DeviceConfig(total_latency_us=1.0),
+    )
+    system = System(config)
+    install_pointer_chase(system, PARAMS, threads)
+    ticks = system.run_to_completion(limit_ticks=10**12)
+    total_hops = threads * PARAMS.hops_per_thread
+    return to_us(ticks), total_hops
+
+
+def main() -> None:
+    print(f"{PARAMS.hops_per_thread} hops/thread through random cyclic "
+          f"chains, 1 us device")
+    print(f"{'configuration':28s} {'time':>10s} {'hops':>6s} {'ns/hop':>8s}")
+    for mechanism, threads in (
+        (AccessMechanism.ON_DEMAND, 1),
+        (AccessMechanism.PREFETCH, 1),
+        (AccessMechanism.PREFETCH, 4),
+        (AccessMechanism.PREFETCH, 10),
+        (AccessMechanism.SOFTWARE_QUEUE, 10),
+    ):
+        elapsed_us, hops = run(mechanism, threads)
+        label = f"{mechanism.value}, {threads} threads"
+        print(f"{label:28s} {elapsed_us:>8.1f}us {hops:>6d} "
+              f"{elapsed_us * 1000 / hops:>8.0f}")
+    print()
+    print("One thread: ~1000 ns/hop no matter the mechanism (serial chain).")
+    print("Ten threads: ~100 ns/hop — the latency is hidden across chains,")
+    print("which is the paper's entire point.")
+
+
+if __name__ == "__main__":
+    main()

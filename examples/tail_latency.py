@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The killer microsecond as a tail-latency story.
+
+The paper's metric is throughput (work IPC), but the phrase "killer
+microsecond" comes from datacenter tail-latency concerns.  This
+example measures the *thread-visible* access latency distribution --
+from dev_access issue to data ready -- under each mechanism, showing
+where each one's time actually goes:
+
+* on-demand: every access eats the full device latency;
+* prefetch: the scheduler round hides most of it, but when thread
+  count is short of the latency-hiding requirement, the residual shows
+  up as a fat tail on the load;
+* software queues: the protocol (descriptor fetch, response writes,
+  polling) inflates even the median well past the device's 1 us.
+
+Run:  python examples/tail_latency.py
+"""
+
+from repro import AccessMechanism, DeviceConfig, MicrobenchSpec, SystemConfig
+from repro.host.system import System
+from repro.units import us
+from repro.workloads.microbench import install_microbench
+
+
+def measure(mechanism, threads):
+    config = SystemConfig(
+        mechanism=mechanism,
+        threads_per_core=threads,
+        device=DeviceConfig(total_latency_us=1.0),
+    )
+    system = System(config)
+    install_microbench(system, MicrobenchSpec(work_count=200), threads)
+    system.run_window(us(30), us(120))
+    return system.access_latency
+
+
+def main() -> None:
+    print("Thread-visible dev_access latency at 1 us device latency")
+    print(f"{'configuration':28s} {'n':>6s} {'p50':>9s} {'p99':>9s} {'max':>9s}")
+    for mechanism, threads in (
+        (AccessMechanism.ON_DEMAND, 1),
+        (AccessMechanism.PREFETCH, 4),
+        (AccessMechanism.PREFETCH, 10),
+        (AccessMechanism.PREFETCH, 16),
+        (AccessMechanism.SOFTWARE_QUEUE, 16),
+        (AccessMechanism.KERNEL_QUEUE, 16),
+    ):
+        stat = measure(mechanism, threads)
+        label = f"{mechanism.value}, {threads} threads"
+        print(
+            f"{label:28s} {stat.count:>6d}"
+            f" {stat.percentile(50) / 1e6:>7.2f}us"
+            f" {stat.percentile(99) / 1e6:>7.2f}us"
+            f" {stat.maximum / 1e6:>7.2f}us"
+        )
+    print()
+    print("Note how prefetch's *observed* latency stays ~1 us -- the win is")
+    print("that the thread is descheduled for almost all of it, so the core")
+    print("retires other threads' work instead of stalling.")
+
+
+if __name__ == "__main__":
+    main()

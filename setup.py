@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP-517 editable-install support.
+
+All project metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` on systems lacking the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved Unix tool.
+        sys.exit(0)

@@ -1,0 +1,202 @@
+"""Command-line interface: run experiments without writing code.
+
+::
+
+    python -m repro run --mechanism prefetch --threads 10 --latency-us 1
+    python -m repro run --mechanism software-queue --threads 24 --cores 4
+    python -m repro figure fig3 --scale quick
+    python -m repro app memcached --mechanism prefetch --threads 8
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config import (
+    AccessMechanism,
+    CpuConfig,
+    DeviceAttachment,
+    DeviceConfig,
+    SystemConfig,
+    UncoreConfig,
+)
+from repro.harness.applications import APPLICATIONS, normalized_application
+from repro.harness.experiment import MeasureWindow, normalized_microbench
+from repro.harness.figures import ALL_FIGURES
+from repro.harness.report import render_chart, render_table, to_csv
+from repro.workloads.microbench import MicrobenchSpec
+
+__all__ = ["main", "build_parser"]
+
+_MECHANISMS = {mechanism.value: mechanism for mechanism in AccessMechanism}
+_ATTACHMENTS = {attachment.value: attachment for attachment in DeviceAttachment}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Taming the Killer Microsecond' (MICRO 2018)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run one microbenchmark configuration"
+    )
+    run.add_argument("--mechanism", choices=sorted(_MECHANISMS), default="prefetch")
+    run.add_argument("--threads", type=int, default=10, help="threads per core")
+    run.add_argument("--cores", type=int, default=1)
+    run.add_argument("--latency-us", type=float, default=1.0)
+    run.add_argument("--work", type=int, default=200, help="work instructions per access")
+    run.add_argument("--mlp", type=int, default=1, help="reads per batch (1/2/4)")
+    run.add_argument("--writes", type=int, default=0, help="posted writes per batch")
+    run.add_argument("--lfb", type=int, default=10, help="line-fill buffers per core")
+    run.add_argument("--chip-queue", type=int, default=14,
+                     help="shared chip-level queue entries (PCIe path)")
+    run.add_argument("--smt", type=int, default=1, choices=(1, 2, 4))
+    run.add_argument("--attachment", choices=sorted(_ATTACHMENTS), default="pcie")
+    run.add_argument("--warmup-us", type=float, default=30.0)
+    run.add_argument("--measure-us", type=float, default=100.0)
+
+    figure = commands.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=sorted(ALL_FIGURES))
+    figure.add_argument("--scale", choices=("quick", "full"), default="quick")
+    figure.add_argument("--csv", metavar="PATH", default=None,
+                        help="also write the series as CSV")
+    figure.add_argument("--chart", action="store_true",
+                        help="render an ASCII chart as well as the table")
+    figure.add_argument("--save-baseline", metavar="PATH", default=None,
+                        help="save the series as a JSON regression baseline")
+    figure.add_argument("--compare-baseline", metavar="PATH", default=None,
+                        help="diff the run against a stored baseline")
+
+    app = commands.add_parser("app", help="run one application study")
+    app.add_argument("name", choices=sorted(APPLICATIONS))
+    app.add_argument("--mechanism", choices=sorted(_MECHANISMS), default="prefetch")
+    app.add_argument("--threads", type=int, default=8)
+    app.add_argument("--cores", type=int, default=1)
+    app.add_argument("--latency-us", type=float, default=1.0)
+
+    commands.add_parser("list", help="list figures and applications")
+    commands.add_parser("table1", help="print the paper's Table I taxonomy")
+    return parser
+
+
+def _system_config(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig(
+        mechanism=_MECHANISMS[args.mechanism],
+        cores=args.cores,
+        threads_per_core=args.threads,
+        cpu=CpuConfig(lfb_entries=args.lfb, smt_contexts=args.smt),
+        uncore=UncoreConfig(pcie_queue_entries=args.chip_queue),
+        device=DeviceConfig(
+            total_latency_us=args.latency_us,
+            attachment=_ATTACHMENTS[args.attachment],
+        ),
+    )
+
+
+def _command_run(args: argparse.Namespace, out) -> int:
+    config = _system_config(args)
+    spec = MicrobenchSpec(
+        work_count=args.work,
+        reads_per_batch=args.mlp,
+        writes_per_batch=args.writes,
+    )
+    window = MeasureWindow(warmup_us=args.warmup_us, measure_us=args.measure_us)
+    normalized, result = normalized_microbench(config, spec, window)
+    report = result.report
+    print(f"configuration : {config.describe()}", file=out)
+    print(f"work-count    : {spec.work_count}  (MLP {spec.reads_per_batch}, "
+          f"{spec.writes_per_batch} writes/iter)", file=out)
+    print(f"work IPC      : {result.work_ipc:.4f}", file=out)
+    print(f"normalized    : {normalized:.4f}  (vs 1-thread DRAM baseline)", file=out)
+    print(f"accesses      : {result.stats.accesses} in "
+          f"{result.stats.ticks / 1e6:.0f} us", file=out)
+    print(f"LFB peak      : {max(report['lfb_max_per_core'])} / {args.lfb}", file=out)
+    print(f"chip-q peak   : {report['uncore_pcie_max']} / {args.chip_queue}", file=out)
+    up = report["pcie_up_wire_bytes"] / (result.stats.ticks / 1e12) / 1e9
+    print(f"PCIe upstream : {up:.2f} GB/s on the wire", file=out)
+    return 0
+
+
+def _command_figure(args: argparse.Namespace, out) -> int:
+    figure = ALL_FIGURES[args.name](args.scale)
+    print(render_table(figure), file=out)
+    if args.chart:
+        print(render_chart(figure), file=out)
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(to_csv(figure))
+        print(f"series written to {args.csv}", file=out)
+    if args.save_baseline:
+        from repro.harness.regression import save_baseline
+
+        save_baseline(figure, args.save_baseline)
+        print(f"baseline saved to {args.save_baseline}", file=out)
+    if args.compare_baseline:
+        from repro.harness.regression import compare_to_baseline, load_baseline
+
+        deviations = compare_to_baseline(
+            figure, load_baseline(args.compare_baseline)
+        )
+        if deviations:
+            print(f"{len(deviations)} deviation(s) from baseline:", file=out)
+            for deviation in deviations:
+                print(f"  {deviation.describe()}", file=out)
+            return 1
+        print("matches baseline", file=out)
+    return 0
+
+
+def _command_app(args: argparse.Namespace, out) -> int:
+    config = SystemConfig(
+        mechanism=_MECHANISMS[args.mechanism],
+        cores=args.cores,
+        threads_per_core=args.threads,
+        device=DeviceConfig(total_latency_us=args.latency_us),
+    )
+    normalized, run = normalized_application(config, args.name)
+    print(f"application   : {args.name}", file=out)
+    print(f"configuration : {config.describe()}", file=out)
+    print(f"operations    : {run.operations}", file=out)
+    print(f"ns / operation: {run.ticks_per_operation / 1e3:.1f}", file=out)
+    print(f"normalized    : {normalized:.4f}  (vs 1-thread DRAM baseline)", file=out)
+    return 0
+
+
+def _command_list(out) -> int:
+    print("figures:", file=out)
+    for name in sorted(ALL_FIGURES):
+        print(f"  {name}", file=out)
+    print("applications:", file=out)
+    for name in sorted(APPLICATIONS):
+        print(f"  {name}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    if out is None:
+        out = sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _command_run(args, out)
+        if args.command == "figure":
+            return _command_figure(args, out)
+        if args.command == "app":
+            return _command_app(args, out)
+        if args.command == "list":
+            return _command_list(out)
+        if args.command == "table1":
+            from repro.taxonomy import render_table_i
+
+            print(render_table_i(), file=out)
+            return 0
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, like a
+        # well-behaved Unix tool.
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

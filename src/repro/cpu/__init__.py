@@ -1,0 +1,21 @@
+"""Cycle-approximate CPU model: core, ROB, caches, LFBs, uncore."""
+
+from repro.cpu.cache import L1Cache
+from repro.cpu.core import LoadToken, OutOfOrderCore
+from repro.cpu.lfb import LineFillBuffers, MissEntry
+from repro.cpu.memsys import CoreMemorySystem
+from repro.cpu.rob import ReorderBuffer
+from repro.cpu.uncore import AddressSpace, MemoryTarget, Uncore
+
+__all__ = [
+    "AddressSpace",
+    "CoreMemorySystem",
+    "L1Cache",
+    "LineFillBuffers",
+    "LoadToken",
+    "MemoryTarget",
+    "MissEntry",
+    "OutOfOrderCore",
+    "ReorderBuffer",
+    "Uncore",
+]

@@ -1,0 +1,150 @@
+"""Per-core memory subsystem: L1 + line-fill buffers + uncore routing.
+
+This is the path every load and prefetch takes:
+
+    L1 probe -> (hit: a few cycles)
+             -> (merge: wait on the existing miss's fill)
+             -> allocate an LFB entry      [10/core  -- Figure 3 cap]
+             -> shared uncore path queue   [14 chip-wide -- Figure 5 cap]
+             -> hop -> memory target (DRAM channel or PCIe+device) -> hop
+             -> install in L1, wake waiters, free LFB + queue slot
+
+LFB allocation happens on the caller's (front-end's) time; everything
+downstream runs in a detached fill process so the core keeps
+dispatching while fills are in flight.
+"""
+
+from __future__ import annotations
+
+from repro.config import CacheConfig
+from repro.cpu.cache import L1Cache
+from repro.cpu.lfb import LineFillBuffers, MissEntry
+from repro.cpu.uncore import AddressSpace, Uncore
+from repro.sim import Event, Simulator
+from repro.sim.trace import LatencyStat
+from repro.units import Frequency
+
+__all__ = ["CoreMemorySystem"]
+
+
+class CoreMemorySystem:
+    """One core's private cache/LFB view onto the shared uncore."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_id: int,
+        cache_config: CacheConfig,
+        lfb_entries: int,
+        uncore: Uncore,
+        frequency: Frequency,
+        drop_prefetch_when_full: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.core_id = core_id
+        self.line_bytes = cache_config.line_bytes
+        self.l1 = L1Cache(cache_config, name=f"l1d{core_id}")
+        self.lfb = LineFillBuffers(sim, lfb_entries, name=f"lfb{core_id}")
+        self.uncore = uncore
+        self.drop_prefetch_when_full = drop_prefetch_when_full
+        #: Posted-write buffer; attached by the system builder (None in
+        #: read-only unit-test rigs).
+        self.store_buffer = None
+        #: Optional hardware stride prefetcher (the paper disables it;
+        #: the interference ablation enables it).
+        self.hw_prefetcher = None
+        self._hit_ticks = frequency.cycles(cache_config.hit_cycles)
+        self.fill_latency = LatencyStat(f"core{core_id}-fill")
+        #: Byte contents of L1-resident lines (hits must not consult
+        #: the backing store; in replay mode it may not be readable).
+        self._contents: dict[int, bytes] = {}
+
+    def line_of(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+    def load_line(self, addr: int, space: AddressSpace) -> Event:
+        """Start a load of ``addr``'s line; never blocks the caller.
+
+        Returns an event that fires with the line's bytes: an L1 hit
+        after the hit latency, a merge into an in-flight miss, or a
+        fresh miss that waits in the reservation station for a
+        line-fill buffer and then fills.
+        """
+        line = self.line_of(addr)
+        if self.l1.lookup(line):
+            if self.hw_prefetcher is not None:
+                self.hw_prefetcher.note_hit(line)
+            hit = Event(self.sim)
+            self.sim._schedule_value(hit, self._hit_ticks, self._line_data(line))
+            return hit
+        merged = self.lfb.lookup(line)
+        if merged is not None:
+            if self.hw_prefetcher is not None:
+                self.hw_prefetcher.note_hit(line)
+            return merged.data_ready
+        if self.hw_prefetcher is not None:
+            self.hw_prefetcher.observe_miss(line, space)
+        entry, granted = self.lfb.allocate_queued(line)
+        granted.add_callback(
+            lambda _ev: self.sim.process(
+                self._fill(entry, line, space), name=f"fill-{line:#x}"
+            )
+        )
+        return entry.data_ready
+
+    def prefetch_line(self, addr: int, space: AddressSpace) -> Event:
+        """Non-binding prefetch of a line (never blocks the caller).
+
+        Returns the event marking the prefetch *issued* (the point the
+        instruction can retire).  No-op (already fired) on an L1 hit or
+        an in-flight miss.  On a fresh miss, behaviour follows the
+        configured policy:
+
+        * ``queue`` (default): with every line-fill buffer busy the
+          prefetch waits in the reservation station; it cannot retire
+          until a buffer frees, so ROB backpressure smoothly throttles
+          dispatch to the fill rate -- the flat >10-thread plateau of
+          Figure 3.
+        * ``drop``: the prefetch is silently discarded when no buffer
+          is free (counted in ``lfb.dropped_prefetches``); the later
+          demand load then takes the full miss.
+        """
+        line = self.line_of(addr)
+        if self.l1.contains(line) or self.lfb.contains(line):
+            return self._fired()
+        if self.drop_prefetch_when_full:
+            entry = self.lfb.try_allocate(line)
+            if entry is not None:
+                self.sim.process(self._fill(entry, line, space), name=f"pf-{line:#x}")
+            return self._fired()
+        entry, granted = self.lfb.allocate_queued(line)
+        granted.add_callback(
+            lambda _ev: self.sim.process(
+                self._fill(entry, line, space), name=f"pf-{line:#x}"
+            )
+        )
+        return granted
+
+    def _fired(self) -> Event:
+        event = Event(self.sim)
+        event.succeed(None)
+        return event
+
+    def _fill(self, entry: MissEntry, line: int, space: AddressSpace):
+        queue = self.uncore.queue(space)
+        grant = queue.acquire()
+        if not grant.fired:
+            yield grant
+        yield self.sim.timeout(self.uncore.hop_ticks)
+        data = yield self.uncore.target(space).read_line(line)
+        yield self.sim.timeout(self.uncore.hop_ticks)
+        victim = self.l1.install(line)
+        if victim is not None:
+            self._contents.pop(victim, None)
+        self._contents[line] = data
+        queue.release()
+        self.fill_latency.record(self.sim.now - entry.issued_at)
+        self.lfb.complete(entry, data)
+
+    def _line_data(self, line: int) -> bytes:
+        return self._contents.get(line, b"\x00" * self.line_bytes)

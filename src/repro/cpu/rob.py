@@ -1,0 +1,120 @@
+"""Reorder-buffer occupancy tracking with in-order retirement.
+
+The paper's on-demand result (Figure 2) is a story about the ROB: "a
+load from a microsecond-latency device will rapidly reach the head of
+the reorder buffer, causing it to fill up and stall further instruction
+dispatch" (section III-B).  This module models exactly that: dispatch
+allocates slots, completion is out of order, retirement is in order,
+and a long-latency load at the head holds every younger instruction's
+slots hostage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim import Event, Simulator, Store
+
+__all__ = ["ReorderBuffer"]
+
+
+@dataclass
+class _RobEntry:
+    slots: int
+    done: Event
+    on_retire: Optional[Callable[[], None]] = None
+
+
+class ReorderBuffer:
+    """Slot accounting for an out-of-order core's instruction window.
+
+    Usage from the core's front-end (a single process):
+
+    1. ``yield from rob.allocate(n)`` -- stall dispatch until ``n``
+       slots are free.
+    2. ``rob.commit(n, done_event[, on_retire])`` -- enter the dispatched
+       group into the retirement FIFO; its slots free once ``done_event``
+       has fired *and* every older group has retired.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "rob") -> None:
+        if capacity < 1:
+            raise SimulationError("ROB capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.free = capacity
+        self._entries: Store = Store(sim, name=f"{name}-entries")
+        self._waiters: Deque[tuple[int, Event]] = deque()
+        self._idle_waiters: list[Event] = []
+        self.max_used = 0
+        self.retired_groups = 0
+        sim.process(self._retire_loop(), name=f"{name}-retire")
+
+    @property
+    def used(self) -> int:
+        return self.capacity - self.free
+
+    def allocate(self, slots: int) -> Generator[Event, object, None]:
+        """Generator: stall until ``slots`` ROB slots are available."""
+        if slots > self.capacity:
+            raise SimulationError(
+                f"{self.name}: group of {slots} exceeds ROB capacity "
+                f"{self.capacity} (reduce the work chunk size)"
+            )
+        if slots <= 0:
+            raise SimulationError("allocation must be positive")
+        if self.free >= slots and not self._waiters:
+            self.free -= slots
+        else:
+            grant = Event(self.sim)
+            self._waiters.append((slots, grant))
+            yield grant
+        self.max_used = max(self.max_used, self.used)
+
+    def commit(
+        self,
+        slots: int,
+        done: Event,
+        on_retire: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Enter an allocated group into the retirement FIFO."""
+        self._entries.put(_RobEntry(slots, done, on_retire))
+
+    def _retire_loop(self):
+        while True:
+            entry = yield self._entries.get()
+            if not entry.done.fired:
+                yield entry.done
+            self.free += entry.slots
+            if self.free > self.capacity:  # pragma: no cover - invariant
+                raise SimulationError(f"{self.name}: retired more than allocated")
+            self.retired_groups += 1
+            if entry.on_retire is not None:
+                entry.on_retire()
+            self._grant_waiters()
+            if self.free == self.capacity and not self._waiters:
+                waiters, self._idle_waiters = self._idle_waiters, []
+                for waiter in waiters:
+                    waiter.succeed(None)
+
+    def idle(self) -> Event:
+        """An event firing when the ROB has fully drained."""
+        event = Event(self.sim)
+        if self.free == self.capacity and not self._waiters:
+            event.succeed(None)
+        else:
+            self._idle_waiters.append(event)
+        return event
+
+    def _grant_waiters(self) -> None:
+        while self._waiters and self._waiters[0][0] <= self.free:
+            slots, grant = self._waiters.popleft()
+            self.free -= slots
+            grant.succeed(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReorderBuffer {self.used}/{self.capacity}>"

@@ -1,0 +1,112 @@
+"""A store buffer: posted writes that retire ahead of completion.
+
+Writes are the paper's declared future work (section VII): "because
+writes do not have return values, are often off the critical path, and
+do not prevent context switching by blocking at the head of the
+reorder buffer, their latency can be more easily hidden by later
+instructions of the same thread without requiring prefetch
+instructions."
+
+This model makes that concrete: a store occupies one ROB slot only for
+dispatch, then sits in a bounded store buffer that drains to the
+memory system in the background (write-through, no write-allocate).
+Dispatch stalls only when the buffer itself is full -- which takes a
+sustained write rate above the drain path's bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.uncore import AddressSpace, Uncore
+from repro.errors import SimulationError
+from repro.sim import Event, Simulator, Store
+
+__all__ = ["PendingStore", "StoreBuffer"]
+
+
+@dataclass
+class PendingStore:
+    """One buffered write (line-granular on the wire)."""
+
+    addr: int
+    space: AddressSpace
+    num_bytes: int
+
+
+class WriteSink:
+    """Where drained stores go (set by the system builder)."""
+
+    def write_line(self, store: PendingStore) -> Event:
+        """Issue the write toward its target; fires when the write has
+        left the chip (posted semantics -- no completion wait)."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class StoreBuffer:
+    """Bounded buffer of posted writes, drained FIFO."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        entries: int,
+        uncore: Uncore,
+        name: str = "stb",
+    ) -> None:
+        if entries < 1:
+            raise SimulationError("store buffer needs at least one entry")
+        self.sim = sim
+        self.name = name
+        self.uncore = uncore
+        self._slots: Store = Store(sim, capacity=entries, name=name)
+        self._sinks: dict[AddressSpace, WriteSink] = {}
+        self.stores_posted = 0
+        self.stores_drained = 0
+        self.full_stalls = 0
+        sim.process(self._drain(), name=f"{name}-drain")
+
+    def attach_sink(self, space: AddressSpace, sink: WriteSink) -> None:
+        self._sinks[space] = sink
+
+    @property
+    def capacity(self) -> int:
+        return self._slots.capacity or 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._slots)
+
+    def post(self, store: PendingStore):
+        """Generator (front-end time): enqueue a write.
+
+        Returns immediately while the buffer has space; stalls the
+        caller (dispatch) when it is full.
+        """
+        self.stores_posted += 1
+        capacity = self._slots.capacity
+        if capacity is not None and len(self._slots) >= capacity:
+            self.full_stalls += 1
+        accepted = self._slots.put(store)
+        if not accepted.fired:
+            yield accepted
+
+    def _drain(self):
+        while True:
+            store = yield self._slots.get()
+            sink = self._sinks.get(store.space)
+            if sink is None:
+                raise SimulationError(
+                    f"{self.name}: no write sink for {store.space.value}"
+                )
+            # The write occupies a shared-queue slot only while it is
+            # being injected; posted writes need no response tracking.
+            queue = self.uncore.queue(store.space)
+            grant = queue.acquire()
+            if not grant.fired:
+                yield grant
+            yield self.sim.timeout(self.uncore.hop_ticks)
+            sent = sink.write_line(store)
+            if not sent.fired:
+                yield sent
+            queue.release()
+            self.stores_drained += 1

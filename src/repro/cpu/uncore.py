@@ -1,0 +1,86 @@
+"""The shared on-chip fabric between cores and the outside world.
+
+The paper's multicore prefetch experiment (Figure 5) uncovered "another
+hardware queue which is shared among the cores" on the path to the
+PCIe controller, with a measured maximum occupancy of 14; the DRAM
+path sustains at least 48 simultaneous accesses (section V-B).  The
+uncore therefore keeps one occupancy-limited queue *per path*, shared
+by all cores, plus a fixed per-traversal hop latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol
+
+from repro.config import UncoreConfig
+from repro.errors import ConfigError
+from repro.sim import Event, Resource, Simulator
+from repro.units import ns
+
+__all__ = ["AddressSpace", "MemoryTarget", "Uncore"]
+
+
+class AddressSpace(enum.Enum):
+    """Which physical path an address routes to."""
+
+    #: Host DRAM (the baseline store, SWQ rings, response buffers).
+    DRAM = "dram"
+    #: The device BAR, reached over PCIe (MMIO loads and prefetches).
+    DEVICE = "device"
+
+
+class MemoryTarget(Protocol):
+    """Anything that can serve a line read at the chip's edge."""
+
+    def read_line(self, line_addr: int) -> Event:
+        """Start a line read; the event fires with the line ``bytes``."""
+        ...  # pragma: no cover - protocol
+
+
+class Uncore:
+    """Shared chip-level queues and routing to memory targets."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: UncoreConfig,
+        device_queue_entries: int | None = None,
+    ) -> None:
+        """``device_queue_entries`` overrides the DEVICE path's shared
+        queue depth -- a memory-bus-attached device rides the deeper
+        DRAM-style queue instead of the 14-entry PCIe one."""
+        self.sim = sim
+        self.config = config
+        self.hop_ticks = ns(config.hop_ns)
+        if device_queue_entries is None:
+            device_queue_entries = config.pcie_queue_entries
+        self._queues = {
+            AddressSpace.DRAM: Resource(
+                sim, config.dram_queue_entries, name="uncore-dram-q"
+            ),
+            AddressSpace.DEVICE: Resource(
+                sim, device_queue_entries, name="uncore-device-q"
+            ),
+        }
+        self._targets: dict[AddressSpace, MemoryTarget] = {}
+
+    def attach_target(self, space: AddressSpace, target: MemoryTarget) -> None:
+        if space in self._targets:
+            raise ConfigError(f"target for {space.value} already attached")
+        self._targets[space] = target
+
+    def queue(self, space: AddressSpace) -> Resource:
+        """The shared occupancy-limited queue for ``space``'s path."""
+        return self._queues[space]
+
+    def target(self, space: AddressSpace) -> MemoryTarget:
+        try:
+            return self._targets[space]
+        except KeyError:
+            raise ConfigError(f"no memory target attached for {space.value}")
+
+    def max_occupancy(self, space: AddressSpace) -> int:
+        """Peak simultaneous in-flight accesses seen on a path --
+        the statistic the paper measured to find the 14-entry limit."""
+        return self._queues[space].max_in_use

@@ -1,0 +1,22 @@
+"""The FPGA-based microsecond-latency device emulator (section IV-A)."""
+
+from repro.device.delay import DelayModule
+from repro.device.emulator import DmaEngine, MmioEmulator, SwqEmulator
+from repro.device.fetcher import DmaReadRequest, DmaWriteRequest, RequestFetcher
+from repro.device.ondemand import OnDemandModule
+from repro.device.replay import AccessTrace, ReplayModule, ReplayStreamer, TraceEntry
+
+__all__ = [
+    "AccessTrace",
+    "DelayModule",
+    "DmaEngine",
+    "DmaReadRequest",
+    "DmaWriteRequest",
+    "MmioEmulator",
+    "OnDemandModule",
+    "ReplayModule",
+    "ReplayStreamer",
+    "RequestFetcher",
+    "SwqEmulator",
+    "TraceEntry",
+]

@@ -1,0 +1,338 @@
+"""Top-level device emulators: the two FPGA designs of Figure 1.
+
+* :class:`MmioEmulator` -- the memory-mapped design: the host's loads
+  and prefetches arrive as PCIe read TLPs; data comes from the
+  functional store, or (in replay mode) from per-core replay modules
+  with an on-demand fallback; the delay module releases completions at
+  the configured device latency.
+
+* :class:`SwqEmulator` -- the software-managed-queue design: per-core
+  doorbell registers trigger request fetchers that DMA descriptor
+  bursts out of host memory; each served request produces a response
+  data write followed by a completion-queue write.
+
+* :class:`DmaEngine` -- bulk preload of recorded traces into on-board
+  DRAM before a replay run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import DeviceConfig, OnboardDramConfig, SwqConfig
+from repro.device.delay import DelayModule
+from repro.device.fetcher import DmaWriteRequest, RequestFetcher
+from repro.device.ondemand import OnDemandModule
+from repro.device.replay import AccessTrace, ReplayModule, ReplayStreamer
+from repro.errors import ProtocolError
+from repro.host.addressmap import AddressMap
+from repro.interconnect.dram import DramChannel
+from repro.interconnect.packets import Tlp, TlpKind
+from repro.interconnect.pcie import PcieLink
+from repro.memory import FlatMemory
+from repro.runtime.queuepair import Completion, Descriptor, QueuePair
+from repro.sim import Simulator
+from repro.units import ns, transfer_ticks
+
+__all__ = ["MmioEmulator", "SwqEmulator", "DmaEngine"]
+
+
+def _onboard_channel(sim: Simulator, config: OnboardDramConfig, name: str) -> DramChannel:
+    return DramChannel(
+        sim,
+        latency_ticks=ns(config.latency_ns),
+        bandwidth_bytes_per_s=config.bandwidth_bytes_per_s,
+        name=name,
+    )
+
+
+class MmioEmulator:
+    """The memory-mapped (on-demand / prefetch) emulator design."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device_config: DeviceConfig,
+        onboard_config: OnboardDramConfig,
+        link: PcieLink,
+        address_map: AddressMap,
+        world: FlatMemory,
+        internal_delay_ticks: int,
+    ) -> None:
+        self.sim = sim
+        self.config = device_config
+        self.onboard_config = onboard_config
+        self.link = link
+        self.map = address_map
+        self.world = world
+        self.delay = DelayModule(
+            sim, internal_delay_ticks, self._send_completion, name="mmio-delay"
+        )
+        # Separate on-board DRAM channels for replay streaming and the
+        # on-demand dataset copy, as in the paper's design.
+        self.stream_channel = _onboard_channel(sim, onboard_config, "obd-stream")
+        self.ondemand_channel = _onboard_channel(sim, onboard_config, "obd-demand")
+        self.on_demand = OnDemandModule(sim, self.ondemand_channel, world)
+        self._replay: dict[int, ReplayModule] = {}
+        self._recording: Optional[dict[int, AccessTrace]] = None
+        self.requests_served = 0
+        self.writes_received = 0
+        self.write_bytes_received = 0
+        link.downstream.set_receiver(self.on_tlp)
+
+    # -- replay methodology -----------------------------------------------------
+
+    def start_recording(self) -> dict[int, AccessTrace]:
+        """Record the (partition-relative) access sequence of each core
+        during a functional first run (the paper's run #1)."""
+        self._recording = {core: AccessTrace() for core in range(self.map.cores)}
+        return self._recording
+
+    def stop_recording(self) -> dict[int, AccessTrace]:
+        if self._recording is None:
+            raise ProtocolError("recording was never started")
+        traces, self._recording = self._recording, None
+        return traces
+
+    def load_traces(self, traces: dict[int, AccessTrace], streamed: bool = True) -> None:
+        """Arm replay mode with per-core traces (the paper's run #2).
+
+        With ``streamed=True`` the windows refill through the on-board
+        DRAM streaming channel; otherwise refills are instantaneous
+        (an idealized emulator, useful to isolate streaming effects).
+        """
+        if not traces:
+            raise ProtocolError("replay mode needs at least one core's trace")
+        for core, trace in traces.items():
+            source: ReplayStreamer | AccessTrace
+            if streamed:
+                source = ReplayStreamer(
+                    self.sim,
+                    trace,
+                    self.stream_channel,
+                    fifo_depth=self.onboard_config.stream_depth_lines,
+                    burst_entries=self.onboard_config.stream_burst_entries,
+                    name=f"stream{core}",
+                )
+            else:
+                source = trace
+            self._replay[core] = ReplayModule(
+                self.sim,
+                source,
+                window_size=self.config.replay_window,
+                name=f"replay{core}",
+            )
+
+    @property
+    def replay_modules(self) -> dict[int, ReplayModule]:
+        return self._replay
+
+    # -- request path -------------------------------------------------------------
+
+    def on_tlp(self, tlp: Tlp) -> None:
+        if tlp.kind is TlpKind.MEM_READ:
+            self._handle_read(tlp)
+        elif tlp.kind is TlpKind.MEM_WRITE:
+            # Posted data writes (write-through stores); functional
+            # contents were applied at the writing core in program
+            # order, so the device only accounts them.
+            self.writes_received += 1
+            self.write_bytes_received += tlp.payload_bytes
+        else:
+            raise ProtocolError(f"MMIO emulator got unexpected TLP {tlp!r}")
+
+    def _handle_read(self, tlp: Tlp) -> None:
+        arrival = self.sim.now
+        line_addr = tlp.address
+        self.requests_served += 1
+        core = self.map.core_of_offset(self.map.bar_offset(line_addr))
+        if self._replay:
+            self._serve_replay(core, line_addr, tlp, arrival)
+        else:
+            data = self.world.read_line(line_addr)
+            if self._recording is not None:
+                offset = self.map.bar_offset(line_addr)
+                self._recording[core].record(
+                    self.map.partition_offset(core, offset), data
+                )
+            self.delay.submit((tlp, data), arrival)
+
+    def _serve_replay(self, core: int, line_addr: int, tlp: Tlp, arrival: int) -> None:
+        replay = self._replay.get(core)
+        if replay is None:
+            raise ProtocolError(f"no replay trace loaded for core {core}")
+        relative = self.map.partition_offset(core, self.map.bar_offset(line_addr))
+        data = replay.lookup(relative)
+        if data is not None:
+            self.delay.submit((tlp, data), arrival)
+        else:
+            # Spurious (wrong-path) request: serve from the on-demand
+            # dataset copy, still aiming for the same deadline.
+            self.sim.process(
+                self._serve_on_demand(line_addr, tlp, arrival),
+                name=f"ondemand-{line_addr:#x}",
+            )
+
+    def _serve_on_demand(self, line_addr: int, tlp: Tlp, arrival: int):
+        data = yield self.on_demand.read_line(line_addr)
+        self.delay.submit((tlp, data), arrival)
+
+    def _send_completion(self, response: tuple[Tlp, bytes]) -> None:
+        request, data = response
+        self.link.upstream.send(
+            Tlp(
+                TlpKind.COMPLETION,
+                address=request.address,
+                payload_bytes=self.map.line_bytes,
+                tag=request.tag,
+                requester="mmio-emulator",
+                data=data,
+            )
+        )
+
+
+class SwqEmulator:
+    """The software-managed-queue emulator design."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device_config: DeviceConfig,
+        onboard_config: OnboardDramConfig,
+        swq_config: SwqConfig,
+        link: PcieLink,
+        address_map: AddressMap,
+        world: FlatMemory,
+        queue_pairs: list[QueuePair],
+        ring_addrs: list[int],
+        internal_delay_ticks: int,
+    ) -> None:
+        if len(queue_pairs) != address_map.cores:
+            raise ProtocolError("need one queue pair per core")
+        self.sim = sim
+        self.config = device_config
+        self.swq_config = swq_config
+        self.link = link
+        self.map = address_map
+        self.world = world
+        self.delay = DelayModule(
+            sim, internal_delay_ticks, self._send_response, name="swq-delay"
+        )
+        self.queue_pairs = queue_pairs
+        self.fetchers = [
+            RequestFetcher(
+                sim,
+                core,
+                queue_pairs[core],
+                link,
+                swq_config,
+                ring_addr=ring_addrs[core],
+                serve=self._serve,
+            )
+            for core in range(address_map.cores)
+        ]
+        self.requests_served = 0
+        self.writes_served = 0
+        link.downstream.set_receiver(self.on_tlp)
+
+    def on_tlp(self, tlp: Tlp) -> None:
+        if tlp.kind is TlpKind.MEM_WRITE:
+            core = self.map.doorbell_core(tlp.address)
+            if core is None:
+                raise ProtocolError(
+                    f"SWQ emulator got write to non-doorbell {tlp.address:#x}"
+                )
+            self.fetchers[core].ring_doorbell()
+        elif tlp.kind is TlpKind.COMPLETION:
+            # A descriptor DMA read returning.  Route by requester name.
+            for fetcher in self.fetchers:
+                if tlp.requester == fetcher.name:
+                    fetcher.deliver_completion(tlp)
+                    return
+            raise ProtocolError(f"completion for unknown fetcher: {tlp.requester}")
+        else:
+            raise ProtocolError(f"SWQ emulator got unexpected TLP {tlp!r}")
+
+    def _serve(self, descriptor: Descriptor, arrival: int) -> None:
+        """Emulate the storage access for one descriptor."""
+        self.requests_served += 1
+        if descriptor.is_write:
+            # Posted write: the medium absorbs it; no response data,
+            # no completion entry (functional contents were applied at
+            # the writing core in program order).
+            self.writes_served += 1
+            return
+        line_addr = descriptor.device_addr - (
+            descriptor.device_addr % self.map.line_bytes
+        )
+        data = self.world.read_line(line_addr)
+        self.delay.submit((descriptor, data), arrival)
+
+    def _send_response(self, response: tuple[Descriptor, bytes]) -> None:
+        """Write the data line, then the completion entry (ordered)."""
+        descriptor, data = response
+        self.link.upstream.send(
+            Tlp(
+                TlpKind.MEM_WRITE,
+                address=descriptor.response_addr,
+                payload_bytes=self.map.line_bytes,
+                requester="swq-emulator",
+                data=data,
+                context=DmaWriteRequest(),
+            )
+        )
+        queue_pair = self.queue_pairs[descriptor.core_id]
+        completion = Completion(
+            thread_id=descriptor.thread_id,
+            device_addr=descriptor.device_addr,
+            response_addr=descriptor.response_addr,
+            data=data,
+        )
+        self.link.upstream.send(
+            Tlp(
+                TlpKind.MEM_WRITE,
+                address=descriptor.response_addr + self.map.line_bytes,
+                payload_bytes=self.swq_config.completion_bytes,
+                requester="swq-emulator",
+                context=DmaWriteRequest(
+                    on_commit=lambda: queue_pair.device_post_completion(completion)
+                ),
+            )
+        )
+
+
+
+class DmaEngine:
+    """Bulk preload of recorded traces into the emulator's on-board
+    DRAM (the paper loads traces "using a DMA engine" before run #2)."""
+
+    #: Preload transfers move in host-page-sized chunks.
+    CHUNK_BYTES = 4096
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: PcieLink,
+        onboard_channel: DramChannel,
+    ) -> None:
+        self.sim = sim
+        self.link = link
+        self.onboard_channel = onboard_channel
+        self.bytes_loaded = 0
+
+    def preload(self, trace: AccessTrace):
+        """Generator: push one trace into on-board DRAM; returns ticks
+        spent (also advances simulated time)."""
+        started = self.sim.now
+        remaining = trace.storage_bytes
+        bandwidth = self.link.config.bandwidth_bytes_per_s
+        while remaining > 0:
+            chunk = min(self.CHUNK_BYTES, remaining)
+            remaining -= chunk
+            # Wire time over PCIe, then the on-board DRAM write.
+            yield self.sim.timeout(
+                transfer_ticks(chunk + self.link.config.header_bytes, bandwidth)
+            )
+            yield self.onboard_channel.access(chunk)
+            self.bytes_loaded += chunk
+        return self.sim.now - started

@@ -1,0 +1,42 @@
+"""The emulator's on-demand read module.
+
+"When the replay module cannot match a host request within the lookup
+window, the request is sent to the on-demand module, which reads the
+data from a copy of the dataset stored in a separate on-board DRAM"
+(section IV-A).  It is also the *only* data source in a hypothetical
+emulator without replay -- an ablation here shows that design collapses
+under parallel requests, which is why the paper built replay.
+"""
+
+from __future__ import annotations
+
+from repro.interconnect.dram import DramChannel
+from repro.memory import FlatMemory
+from repro.sim import Event, Simulator
+
+__all__ = ["OnDemandModule"]
+
+
+class OnDemandModule:
+    """Random cache-line reads from a dataset copy in on-board DRAM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: DramChannel,
+        memory: FlatMemory,
+        address_offset: int = 0,
+        name: str = "on-demand",
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.memory = memory
+        self.address_offset = address_offset
+        self.name = name
+        self.reads = 0
+
+    def read_line(self, line_addr: int) -> Event:
+        """Fetch a line from the dataset copy; fires with the bytes."""
+        self.reads += 1
+        data = self.memory.read_line(line_addr + self.address_offset)
+        return self.channel.access(self.memory.line_bytes, value=data)

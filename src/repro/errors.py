@@ -1,0 +1,32 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class ConfigError(ReproError):
+    """Raised when a model configuration is invalid or inconsistent."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a device/host protocol invariant is violated.
+
+    Examples: a completion for a request that was never issued, a
+    doorbell write to an unmapped register, or a descriptor ring
+    overflow.
+    """
+
+
+class AddressError(ReproError):
+    """Raised for accesses outside any mapped address region."""
+
+
+class ReplayError(ReproError):
+    """Raised when the replay module cannot serve a request stream."""

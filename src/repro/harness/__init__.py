@@ -1,0 +1,56 @@
+"""Experiment harness: runners, normalization, figures, reports."""
+
+from repro.harness.analytic import (
+    predict_on_demand_ipc,
+    predict_prefetch_bounds,
+    predict_prefetch_ipc,
+    predict_swq_peak_ipc,
+)
+from repro.harness.applications import (
+    APPLICATIONS,
+    AppRun,
+    normalized_application,
+    run_application,
+)
+from repro.harness.experiment import (
+    BaselineCache,
+    MeasureWindow,
+    MicrobenchResult,
+    microbench_baseline,
+    normalized_microbench,
+    run_microbench,
+)
+from repro.harness.figures import ALL_FIGURES, FigureResult, Series
+from repro.harness.regression import (
+    compare_to_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.harness.report import render_chart, render_summary, render_table, to_csv
+
+__all__ = [
+    "ALL_FIGURES",
+    "compare_to_baseline",
+    "load_baseline",
+    "predict_on_demand_ipc",
+    "predict_prefetch_bounds",
+    "predict_prefetch_ipc",
+    "predict_swq_peak_ipc",
+    "render_chart",
+    "save_baseline",
+    "APPLICATIONS",
+    "AppRun",
+    "BaselineCache",
+    "FigureResult",
+    "MeasureWindow",
+    "MicrobenchResult",
+    "Series",
+    "microbench_baseline",
+    "normalized_application",
+    "normalized_microbench",
+    "render_summary",
+    "render_table",
+    "run_application",
+    "run_microbench",
+    "to_csv",
+]

@@ -1,0 +1,148 @@
+"""Closed-form performance predictions, for cross-validating the DES.
+
+The paper's section V-B reasons about the system in back-of-the-
+envelope terms ("each microsecond of latency can be effectively hidden
+by 10-20 in-flight accesses per core").  This module writes those
+envelopes down as formulas; the test suite then checks that the
+discrete-event simulator lands within tolerance of them across a
+parameter grid -- two independent derivations of the same numbers.
+
+All formulas predict **absolute work IPC** (work instructions per core
+cycle, aggregated over the chip), not baseline-normalized values, so
+they are independent of the baseline's own model.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.workloads.microbench import MicrobenchSpec
+
+__all__ = [
+    "predict_on_demand_ipc",
+    "predict_prefetch_bounds",
+    "predict_prefetch_ipc",
+    "predict_swq_peak_ipc",
+]
+
+
+def _work_exec_cycles(config: SystemConfig, spec: MicrobenchSpec) -> float:
+    return spec.work_count / config.cpu.work_ipc
+
+
+def _latency_cycles(config: SystemConfig) -> float:
+    return config.cpu.frequency.to_cycles(config.device.total_latency_ticks)
+
+
+def _rob_overlap(config: SystemConfig, spec: MicrobenchSpec) -> int:
+    """Independent iterations the ROB can hold simultaneously.
+
+    The next iteration's load dispatches once its slots free, so the
+    number of loads in flight is 1 + how many further whole iterations
+    fit in the remaining window (work dispatches in chunks, so the
+    footprint quantizes up to the chunk size).
+    """
+    chunk = config.cpu.work_chunk_instructions
+    chunks = -(-spec.work_count // chunk)  # ceil division
+    footprint = chunks * chunk + spec.reads_per_batch
+    overlap = (config.cpu.rob_entries - 1) // footprint + 1
+    return max(1, min(config.cpu.lfb_entries, overlap))
+
+
+def predict_on_demand_ipc(config: SystemConfig, spec: MicrobenchSpec) -> float:
+    """On-demand, one thread: iterations serialize on the device,
+    except for the little run-ahead the instruction window allows
+    ("out-of-order execution cannot find enough independent work",
+    section V-A -- but it finds *some* when iterations are short).
+    """
+    iteration_cycles = _latency_cycles(config) + _work_exec_cycles(config, spec)
+    return _rob_overlap(config, spec) * spec.work_count / iteration_cycles
+
+
+def predict_prefetch_ipc(
+    config: SystemConfig, spec: MicrobenchSpec, threads: int
+) -> float:
+    """Prefetch + user threading, per section V-B's envelope.
+
+    Below the cap, every thread keeps ``reads_per_batch`` accesses in
+    flight and throughput is thread-limited; at the cap, throughput is
+    in-flight-limited at ``cap / latency`` accesses per second.  The
+    per-core cap is the LFBs; the chip shares the PCIe-path queue.
+    """
+    cores = config.cores
+    per_core_cap = min(
+        config.cpu.lfb_entries,
+        max(1, config.uncore.pcie_queue_entries // cores),
+    )
+    latency = _latency_cycles(config)
+    reads = spec.reads_per_batch
+    # Thread-limited regime: each thread completes one batch per
+    # latency (its in-flight reads overlap each other).
+    in_flight = min(threads * reads, per_core_cap)
+    batches_per_latency = in_flight / reads
+    per_core_ipc = batches_per_latency * spec.work_count / latency
+    # The per-thread compute ceiling: work execution overlaps with the
+    # scheduler's switch (the front end is busy while older chunks
+    # execute), so the per-batch time is bounded below by the larger of
+    # the two, not their sum.
+    switch_cycles = config.cpu.frequency.to_cycles(
+        int(config.threading.context_switch_ns * 1000)
+    )
+    compute_cycles = max(_work_exec_cycles(config, spec), switch_cycles)
+    compute_bound_ipc = spec.work_count / compute_cycles
+    return cores * min(per_core_ipc, compute_bound_ipc)
+
+
+def predict_prefetch_bounds(
+    config: SystemConfig, spec: MicrobenchSpec, threads: int
+) -> tuple[float, float]:
+    """(lower, upper) envelope for the prefetch mechanism.
+
+    The bounds differ only in the compute regime: the pessimistic
+    bound serializes switch and work, the optimistic one fully
+    overlaps them.  Queue-limited points have a tight envelope.
+    """
+    cores = config.cores
+    per_core_cap = min(
+        config.cpu.lfb_entries,
+        max(1, config.uncore.pcie_queue_entries // cores),
+    )
+    latency = _latency_cycles(config)
+    reads = spec.reads_per_batch
+    in_flight = min(threads * reads, per_core_cap)
+    queue_ipc = (in_flight / reads) * spec.work_count / latency
+    switch_cycles = config.cpu.frequency.to_cycles(
+        int(config.threading.context_switch_ns * 1000)
+    )
+    work_cycles = _work_exec_cycles(config, spec)
+    optimistic = spec.work_count / max(work_cycles, switch_cycles)
+    pessimistic = spec.work_count / (work_cycles + switch_cycles)
+    return (
+        cores * min(queue_ipc, pessimistic),
+        cores * min(queue_ipc, optimistic),
+    )
+
+
+def predict_swq_peak_ipc(config: SystemConfig, spec: MicrobenchSpec) -> float:
+    """SWQ at saturation: pure software-overhead-limited throughput.
+
+    Per batch: one full enqueue plus marginal enqueues, one completion
+    scan per read, one wakeup, one context switch -- all serialized at
+    ``overhead_ipc`` -- with the work's execution hidden underneath
+    (it runs out of order while the front end grinds protocol code).
+    """
+    swq = config.swq
+    reads = spec.reads_per_batch
+    instructions = (
+        swq.enqueue_instructions
+        + (reads - 1) * swq.enqueue_batch_instructions
+        + reads * swq.completion_instructions
+        + swq.wakeup_instructions
+    )
+    overhead_cycles = instructions / config.threading.overhead_ipc
+    switch_cycles = config.cpu.frequency.to_cycles(
+        int(config.threading.context_switch_ns * 1000)
+    )
+    batch_cycles = max(
+        overhead_cycles + switch_cycles, _work_exec_cycles(config, spec)
+    )
+    return config.cores * spec.work_count / batch_cycles

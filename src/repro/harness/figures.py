@@ -1,0 +1,415 @@
+"""One entry point per figure of the paper's evaluation (section V).
+
+Each ``figN()`` function runs the corresponding experiment sweep and
+returns a :class:`FigureResult` whose series mirror the lines of the
+paper's plot.  ``scale="quick"`` trims the grids for CI-speed runs;
+``scale="full"`` reproduces the paper's grids.
+
+The benchmark suite (``benchmarks/``) calls these functions, asserts
+the paper's qualitative claims about each figure, and renders the
+series as text tables (see :mod:`repro.harness.report`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.config import (
+    AccessMechanism,
+    DeviceConfig,
+    SystemConfig,
+)
+from repro.harness.applications import (
+    APPLICATIONS,
+    default_params,
+    normalized_application,
+)
+from repro.harness.experiment import MeasureWindow, normalized_microbench
+from repro.workloads.microbench import MicrobenchSpec
+
+__all__ = [
+    "FigureResult",
+    "Series",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ALL_FIGURES",
+]
+
+#: Default microbenchmark work-count for the thread sweeps (Figures
+#: 3, 5, 6, 7, 8, 9), chosen so prefetch at 1 us reaches DRAM parity
+#: at 10 threads, as in the paper's Figure 3.
+DEFAULT_WORK = 200
+
+_WINDOW = MeasureWindow(warmup_us=30.0, measure_us=100.0)
+_LONG_WINDOW = MeasureWindow(warmup_us=40.0, measure_us=400.0)
+
+
+@dataclass
+class Series:
+    """One line of a figure: (x, y) points."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def ys(self) -> list[float]:
+        return [y for _x, y in self.points]
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"no point at x={x} in series {self.label!r}")
+
+    def peak(self) -> float:
+        return max(self.ys())
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: labeled series over a common x-axis."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+
+    def new_series(self, label: str) -> Series:
+        line = Series(label)
+        self.series.append(line)
+        return line
+
+    def get(self, label: str) -> Series:
+        for line in self.series:
+            if line.label == label:
+                return line
+        raise KeyError(f"figure {self.figure_id} has no series {label!r}")
+
+
+def _threads_grid(scale: str, full: Sequence[int], quick: Sequence[int]) -> list[int]:
+    return list(full if scale == "full" else quick)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: on-demand access vs work-count
+# ---------------------------------------------------------------------------
+
+def fig2(scale: str = "quick") -> FigureResult:
+    """On-demand access of the microsecond device (vs work-count)."""
+    result = FigureResult(
+        "fig2",
+        "On-demand access of microsecond-latency device",
+        xlabel="work instructions per access",
+        ylabel="normalized work IPC",
+    )
+    work_counts = _threads_grid(
+        scale, full=(10, 50, 100, 200, 500, 1000, 2000, 5000),
+        quick=(10, 100, 1000, 5000),
+    )
+    for latency_us in (1.0, 2.0, 4.0):
+        line = result.new_series(f"{latency_us:g}us")
+        for work in work_counts:
+            config = SystemConfig(
+                mechanism=AccessMechanism.ON_DEMAND,
+                threads_per_core=1,
+                device=DeviceConfig(total_latency_us=latency_us),
+            )
+            norm, _ = normalized_microbench(
+                config, MicrobenchSpec(work_count=work), _LONG_WINDOW
+            )
+            line.add(work, norm)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: prefetch-based access vs thread count, three latencies
+# ---------------------------------------------------------------------------
+
+def fig3(scale: str = "quick") -> FigureResult:
+    """Prefetch-based access with various latencies."""
+    result = FigureResult(
+        "fig3",
+        "Prefetch-based access with various latencies",
+        xlabel="threads",
+        ylabel="normalized work IPC",
+    )
+    threads_grid = _threads_grid(
+        scale, full=tuple(range(1, 17)), quick=(1, 2, 4, 8, 10, 12, 16)
+    )
+    for latency_us in (1.0, 2.0, 4.0):
+        line = result.new_series(f"{latency_us:g}us")
+        for threads in threads_grid:
+            config = SystemConfig(
+                mechanism=AccessMechanism.PREFETCH,
+                threads_per_core=threads,
+                device=DeviceConfig(total_latency_us=latency_us),
+            )
+            norm, _ = normalized_microbench(
+                config, MicrobenchSpec(work_count=DEFAULT_WORK), _WINDOW
+            )
+            line.add(threads, norm)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: prefetch at 1 us with various work-counts
+# ---------------------------------------------------------------------------
+
+def fig4(scale: str = "quick") -> FigureResult:
+    """1 us prefetch-based access with various work counts."""
+    result = FigureResult(
+        "fig4",
+        "1us prefetch-based access with various work counts",
+        xlabel="threads",
+        ylabel="normalized work IPC",
+    )
+    threads_grid = _threads_grid(
+        scale, full=tuple(range(1, 17)), quick=(1, 2, 4, 6, 8, 10, 12, 16)
+    )
+    work_grid = (100, 200, 400, 800, 1600) if scale == "full" else (100, 200, 800)
+    for work in work_grid:
+        line = result.new_series(f"work={work}")
+        for threads in threads_grid:
+            config = SystemConfig(
+                mechanism=AccessMechanism.PREFETCH,
+                threads_per_core=threads,
+                device=DeviceConfig(total_latency_us=1.0),
+            )
+            norm, _ = normalized_microbench(
+                config, MicrobenchSpec(work_count=work), _WINDOW
+            )
+            line.add(threads, norm)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: multicore prefetch-based access
+# ---------------------------------------------------------------------------
+
+def fig5(scale: str = "quick") -> FigureResult:
+    """Multicore prefetch-based access (the 14-entry chip queue cap)."""
+    result = FigureResult(
+        "fig5",
+        "Multicore prefetch-based access with various latencies",
+        xlabel="threads per core",
+        ylabel="normalized work IPC (vs 1-core DRAM baseline)",
+    )
+    threads_grid = _threads_grid(
+        scale, full=(1, 2, 4, 6, 8, 10, 12, 16), quick=(1, 2, 4, 8, 16)
+    )
+    latencies = (1.0, 4.0) if scale == "quick" else (1.0, 2.0, 4.0)
+    for latency_us in latencies:
+        for cores in (1, 2, 4, 8):
+            line = result.new_series(f"{latency_us:g}us/{cores}core")
+            for threads in threads_grid:
+                config = SystemConfig(
+                    mechanism=AccessMechanism.PREFETCH,
+                    cores=cores,
+                    threads_per_core=threads,
+                    device=DeviceConfig(total_latency_us=latency_us),
+                )
+                norm, _ = normalized_microbench(
+                    config, MicrobenchSpec(work_count=DEFAULT_WORK), _WINDOW
+                )
+                line.add(threads, norm)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: prefetch with memory-level parallelism
+# ---------------------------------------------------------------------------
+
+def fig6(scale: str = "quick") -> FigureResult:
+    """1 us prefetch-based access at MLP 1 / 2 / 4 ("n-read")."""
+    result = FigureResult(
+        "fig6",
+        "1us prefetch-based access at various levels of MLP",
+        xlabel="threads",
+        ylabel="normalized work IPC (matching-MLP baseline)",
+    )
+    threads_grid = _threads_grid(
+        scale, full=tuple(range(1, 17)), quick=(1, 2, 3, 4, 5, 8, 10, 16)
+    )
+    for reads in (1, 2, 4):
+        line = result.new_series(f"{reads}-read")
+        for threads in threads_grid:
+            config = SystemConfig(
+                mechanism=AccessMechanism.PREFETCH,
+                threads_per_core=threads,
+                device=DeviceConfig(total_latency_us=1.0),
+            )
+            norm, _ = normalized_microbench(
+                config,
+                MicrobenchSpec(work_count=DEFAULT_WORK, reads_per_batch=reads),
+                _WINDOW,
+            )
+            line.add(threads, norm)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: application-managed queues vs prefetch
+# ---------------------------------------------------------------------------
+
+def fig7(scale: str = "quick") -> FigureResult:
+    """SWQ vs prefetch at 1 us and 4 us."""
+    result = FigureResult(
+        "fig7",
+        "Application-managed queues vs prefetch-based access",
+        xlabel="threads",
+        ylabel="normalized work IPC",
+    )
+    threads_grid = _threads_grid(
+        scale,
+        full=(1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32),
+        quick=(1, 4, 8, 10, 16, 24, 32),
+    )
+    for mechanism, tag in (
+        (AccessMechanism.PREFETCH, "prefetch"),
+        (AccessMechanism.SOFTWARE_QUEUE, "swq"),
+    ):
+        for latency_us in (1.0, 4.0):
+            line = result.new_series(f"{tag}/{latency_us:g}us")
+            for threads in threads_grid:
+                config = SystemConfig(
+                    mechanism=mechanism,
+                    threads_per_core=threads,
+                    device=DeviceConfig(total_latency_us=latency_us),
+                )
+                norm, _ = normalized_microbench(
+                    config, MicrobenchSpec(work_count=DEFAULT_WORK), _WINDOW
+                )
+                line.add(threads, norm)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: multicore software-managed queues
+# ---------------------------------------------------------------------------
+
+def fig8(scale: str = "quick") -> FigureResult:
+    """Multicore SWQ (the PCIe request-rate wall at eight cores)."""
+    result = FigureResult(
+        "fig8",
+        "Multicore comparison of software-managed queues",
+        xlabel="threads per core",
+        ylabel="normalized work IPC (vs 1-core DRAM baseline)",
+    )
+    threads_grid = _threads_grid(
+        scale, full=(4, 8, 12, 16, 20, 24, 32), quick=(4, 8, 16, 24, 32)
+    )
+    for latency_us in (1.0, 4.0):
+        for cores in (1, 2, 4, 8):
+            line = result.new_series(f"{latency_us:g}us/{cores}core")
+            for threads in threads_grid:
+                config = SystemConfig(
+                    mechanism=AccessMechanism.SOFTWARE_QUEUE,
+                    cores=cores,
+                    threads_per_core=threads,
+                    device=DeviceConfig(total_latency_us=latency_us),
+                )
+                norm, _ = normalized_microbench(
+                    config, MicrobenchSpec(work_count=DEFAULT_WORK), _WINDOW
+                )
+                line.add(threads, norm)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: software-managed queues with MLP
+# ---------------------------------------------------------------------------
+
+def fig9(scale: str = "quick") -> FigureResult:
+    """SWQ at MLP 1 / 2 / 4, one core and four cores."""
+    result = FigureResult(
+        "fig9",
+        "Impact of MLP on software-managed queues",
+        xlabel="threads per core",
+        ylabel="normalized work IPC (matching-MLP baseline)",
+    )
+    threads_grid = _threads_grid(
+        scale, full=(2, 4, 8, 12, 16, 24, 32), quick=(4, 8, 16, 24, 32)
+    )
+    for cores, panel in ((1, "1core"), (4, "4core")):
+        for reads in (1, 2, 4):
+            line = result.new_series(f"{panel}/{reads}-read")
+            for threads in threads_grid:
+                config = SystemConfig(
+                    mechanism=AccessMechanism.SOFTWARE_QUEUE,
+                    cores=cores,
+                    threads_per_core=threads,
+                    device=DeviceConfig(total_latency_us=1.0),
+                )
+                norm, _ = normalized_microbench(
+                    config,
+                    MicrobenchSpec(work_count=DEFAULT_WORK, reads_per_batch=reads),
+                    _WINDOW,
+                )
+                line.add(threads, norm)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: application case studies
+# ---------------------------------------------------------------------------
+
+def fig10(scale: str = "quick") -> FigureResult:
+    """BFS / Bloom / Memcached / 4-read microbench, four panels:
+    (a) prefetch 1-core, (b) SWQ 1-core, (c) prefetch 8-core,
+    (d) SWQ 8-core -- all at 1 us."""
+    result = FigureResult(
+        "fig10",
+        "Application benchmarks at 1us (panels a-d)",
+        xlabel="threads per core",
+        ylabel="normalized performance (vs 1-thread DRAM baseline)",
+    )
+    threads_grid = _threads_grid(
+        scale, full=(1, 2, 4, 8, 16, 32), quick=(1, 4, 16)
+    )
+    panels = (
+        ("a", AccessMechanism.PREFETCH, 1),
+        ("b", AccessMechanism.SOFTWARE_QUEUE, 1),
+        ("c", AccessMechanism.PREFETCH, 8),
+        ("d", AccessMechanism.SOFTWARE_QUEUE, 8),
+    )
+    ops = 48 if scale == "full" else 24
+    vertices = 2048 if scale == "full" else 1024
+    for panel, mechanism, cores in panels:
+        for app in APPLICATIONS:
+            params = default_params(app, ops_per_thread=ops, bfs_vertices=vertices)
+            line = result.new_series(f"{panel}/{app}")
+            for threads in threads_grid:
+                config = SystemConfig(
+                    mechanism=mechanism,
+                    cores=cores,
+                    threads_per_core=threads,
+                    device=DeviceConfig(total_latency_us=1.0),
+                )
+                norm, _ = normalized_application(config, app, params=params)
+                line.add(threads, norm)
+    return result
+
+
+#: Registry used by the report example and the benchmark suite.
+ALL_FIGURES = {
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+}

@@ -1,0 +1,135 @@
+"""Figure-result baselines: save once, diff later runs.
+
+A simulator's results should not drift silently under refactoring.
+This module serializes a :class:`FigureResult` to JSON and compares a
+fresh run against a stored baseline point by point, reporting every
+deviation beyond a tolerance.
+
+CLI: ``repro figure fig3 --save-baseline b.json`` then later
+``repro figure fig3 --compare-baseline b.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ConfigError
+from repro.harness.figures import FigureResult
+
+__all__ = [
+    "Deviation",
+    "compare_to_baseline",
+    "figure_from_dict",
+    "figure_to_dict",
+    "load_baseline",
+    "save_baseline",
+]
+
+_FORMAT = "repro-figure-baseline-v1"
+
+
+def figure_to_dict(figure: FigureResult) -> dict:
+    return {
+        "format": _FORMAT,
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "xlabel": figure.xlabel,
+        "ylabel": figure.ylabel,
+        "series": {
+            series.label: [[x, y] for x, y in series.points]
+            for series in figure.series
+        },
+    }
+
+
+def figure_from_dict(payload: dict) -> FigureResult:
+    if payload.get("format") != _FORMAT:
+        raise ConfigError(
+            f"not a figure baseline (format={payload.get('format')!r})"
+        )
+    figure = FigureResult(
+        payload["figure_id"], payload["title"],
+        payload["xlabel"], payload["ylabel"],
+    )
+    for label, points in payload["series"].items():
+        series = figure.new_series(label)
+        for x, y in points:
+            series.add(x, y)
+    return figure
+
+
+def save_baseline(figure: FigureResult, path) -> None:
+    with open(path, "w") as handle:
+        json.dump(figure_to_dict(figure), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path) -> FigureResult:
+    with open(path) as handle:
+        return figure_from_dict(json.load(handle))
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One point that moved beyond tolerance (or appeared/vanished)."""
+
+    series: str
+    x: Union[float, None]
+    baseline_y: Union[float, None]
+    current_y: Union[float, None]
+    kind: str  # "value" | "missing-point" | "new-point" | "missing-series" | "new-series"
+
+    def describe(self) -> str:
+        if self.kind == "value":
+            return (
+                f"{self.series} @ x={self.x:g}: {self.baseline_y:.4f} -> "
+                f"{self.current_y:.4f}"
+            )
+        if self.kind in ("missing-point", "new-point"):
+            return f"{self.series} @ x={self.x:g}: {self.kind}"
+        return f"{self.series}: {self.kind}"
+
+
+def compare_to_baseline(
+    figure: FigureResult,
+    baseline: FigureResult,
+    rtol: float = 0.05,
+    atol: float = 0.01,
+) -> list[Deviation]:
+    """Every point of ``figure`` vs ``baseline``, within tolerance.
+
+    A point deviates when ``|current - base| > atol + rtol * |base|``.
+    Structural differences (series or points added/removed) are always
+    reported.
+    """
+    if figure.figure_id != baseline.figure_id:
+        raise ConfigError(
+            f"comparing {figure.figure_id} against a {baseline.figure_id} "
+            "baseline"
+        )
+    deviations: list[Deviation] = []
+    current = {series.label: dict(series.points) for series in figure.series}
+    expected = {series.label: dict(series.points) for series in baseline.series}
+    for label in expected.keys() - current.keys():
+        deviations.append(Deviation(label, None, None, None, "missing-series"))
+    for label in current.keys() - expected.keys():
+        deviations.append(Deviation(label, None, None, None, "new-series"))
+    for label in expected.keys() & current.keys():
+        base_points = expected[label]
+        new_points = current[label]
+        for x in base_points.keys() - new_points.keys():
+            deviations.append(
+                Deviation(label, x, base_points[x], None, "missing-point")
+            )
+        for x in new_points.keys() - base_points.keys():
+            deviations.append(
+                Deviation(label, x, None, new_points[x], "new-point")
+            )
+        for x in base_points.keys() & new_points.keys():
+            base_y, new_y = base_points[x], new_points[x]
+            if abs(new_y - base_y) > atol + rtol * abs(base_y):
+                deviations.append(Deviation(label, x, base_y, new_y, "value"))
+    deviations.sort(key=lambda d: (d.series, d.x if d.x is not None else -1))
+    return deviations

@@ -1,0 +1,131 @@
+"""Text rendering of reproduced figures.
+
+The benchmark harness prints each figure as an aligned table whose
+rows are x-values and whose columns are the figure's series -- the
+same numbers the paper plots, in a diff-friendly form.  ``to_csv``
+exports the series for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable
+
+from repro.harness.figures import FigureResult
+
+__all__ = ["render_chart", "render_summary", "render_table", "to_csv"]
+
+
+def _x_values(figure: FigureResult) -> list[float]:
+    xs: list[float] = []
+    for series in figure.series:
+        for x, _y in series.points:
+            if x not in xs:
+                xs.append(x)
+    return sorted(xs)
+
+
+def render_table(figure: FigureResult, precision: int = 3) -> str:
+    """The figure as an aligned text table (x rows, series columns)."""
+    xs = _x_values(figure)
+    labels = [series.label for series in figure.series]
+    width = max(8, max((len(label) for label in labels), default=8) + 1)
+    xwidth = max(len(figure.xlabel), 8) + 1
+    out = io.StringIO()
+    out.write(f"{figure.figure_id}: {figure.title}\n")
+    out.write(f"  y = {figure.ylabel}\n")
+    header = f"{figure.xlabel:>{xwidth}}" + "".join(
+        f"{label:>{width}}" for label in labels
+    )
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    lookup = {
+        (series.label, x): y for series in figure.series for x, y in series.points
+    }
+    for x in xs:
+        x_text = f"{x:g}"
+        row = f"{x_text:>{xwidth}}"
+        for label in labels:
+            y = lookup.get((label, x))
+            row += f"{'-':>{width}}" if y is None else f"{y:>{width}.{precision}f}"
+        out.write(row + "\n")
+    return out.getvalue()
+
+
+def to_csv(figure: FigureResult) -> str:
+    """The figure as CSV: figure_id,series,x,y rows."""
+    out = io.StringIO()
+    out.write("figure,series,x,y\n")
+    for series in figure.series:
+        for x, y in series.points:
+            out.write(f"{figure.figure_id},{series.label},{x:g},{y:.6f}\n")
+    return out.getvalue()
+
+
+#: Per-series plot markers, cycled.
+_MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    figure: FigureResult, width: int = 64, height: int = 16
+) -> str:
+    """The figure as an ASCII scatter/line chart.
+
+    Each series gets a marker; colliding points show the later series'
+    marker.  Meant for terminals (the CLI's ``figure --chart``) -- the
+    CSV output is the precision path.
+    """
+    points = [
+        (x, y) for series in figure.series for x, y in series.points
+    ]
+    if not points:
+        return f"{figure.figure_id}: (no data)\n"
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(figure.series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in series.points:
+            column = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    out = io.StringIO()
+    out.write(f"{figure.figure_id}: {figure.title}\n")
+    for index, series in enumerate(figure.series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        out.write(f"  {marker} = {series.label}\n")
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label
+        elif row_index == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        out.write(f"{label:>{gutter}}|{''.join(row)}\n")
+    out.write(f"{'':>{gutter}}+{'-' * width}\n")
+    out.write(
+        f"{'':>{gutter}} {x_lo:g}{'':>{max(1, width - 12)}}{x_hi:g}"
+        f"  ({figure.xlabel})\n"
+    )
+    return out.getvalue()
+
+
+def render_summary(figures: Iterable[FigureResult]) -> str:
+    """Peak-per-series digest across several figures."""
+    out = io.StringIO()
+    for figure in figures:
+        out.write(f"{figure.figure_id}:\n")
+        for series in figure.series:
+            peak = series.peak()
+            at = max(series.points, key=lambda p: p[1])[0]
+            out.write(f"  {series.label:24s} peak {peak:6.3f} at x={at:g}\n")
+    return out.getvalue()

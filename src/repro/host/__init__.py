@@ -1,0 +1,17 @@
+"""Host-side integration: address map, root complex, platform, system."""
+
+from repro.host.addressmap import DEVICE_BASE, AddressMap
+from repro.host.bridge import DramTarget, HostBridge, MmioTarget
+from repro.host.driver import PlatformConfig
+from repro.host.system import System, WindowStats
+
+__all__ = [
+    "AddressMap",
+    "DEVICE_BASE",
+    "DramTarget",
+    "HostBridge",
+    "MmioTarget",
+    "PlatformConfig",
+    "System",
+    "WindowStats",
+]

@@ -1,0 +1,124 @@
+"""The simulated physical address map.
+
+Host DRAM occupies low addresses; the device's data BAR is mapped high
+(and marked cacheable via MTRRs, as the paper does, so loads and
+prefetches travel the cache hierarchy); a small uncached control BAR
+above it holds the per-core doorbell registers.
+
+"Because PCIe transactions do not include the originating processor
+core's ID, we subdivide the exposed memory region and assign each core
+a separate address range" (section IV-A): the data BAR is split into
+per-core partitions so the device can steer requests to per-core
+replay modules and request fetchers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.uncore import AddressSpace
+from repro.errors import AddressError, ConfigError
+
+__all__ = ["AddressMap", "DEVICE_BASE"]
+
+#: Host-physical base of the device's data BAR (1 TiB mark).
+DEVICE_BASE = 1 << 40
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Routing and partitioning of the simulated physical space."""
+
+    cores: int
+    bar_bytes: int
+    line_bytes: int = 64
+    dram_bytes: int = DEVICE_BASE
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigError("address map needs at least one core")
+        if self.bar_bytes < self.cores * self.line_bytes:
+            raise ConfigError("BAR too small for one line per core")
+        if self.dram_bytes > DEVICE_BASE:
+            raise ConfigError("DRAM region would overlap the device BAR")
+
+    # -- regions ---------------------------------------------------------------
+
+    @property
+    def partition_bytes(self) -> int:
+        """Size of each core's slice of the data BAR (line-aligned)."""
+        raw = self.bar_bytes // self.cores
+        return raw - (raw % self.line_bytes)
+
+    @property
+    def control_base(self) -> int:
+        """Base of the uncached control BAR (doorbell registers)."""
+        return DEVICE_BASE + self.bar_bytes
+
+    def space_of(self, addr: int) -> AddressSpace:
+        """Which path an address routes to."""
+        if 0 <= addr < self.dram_bytes:
+            return AddressSpace.DRAM
+        if DEVICE_BASE <= addr < self.control_base + 8 * self.cores:
+            return AddressSpace.DEVICE
+        raise AddressError(f"address {addr:#x} is unmapped")
+
+    # -- data BAR --------------------------------------------------------------
+
+    def bar_offset(self, addr: int) -> int:
+        """Translate a host-physical address to a device BAR offset."""
+        if not DEVICE_BASE <= addr < DEVICE_BASE + self.bar_bytes:
+            raise AddressError(f"address {addr:#x} is not in the data BAR")
+        return addr - DEVICE_BASE
+
+    def host_addr(self, offset: int) -> int:
+        """Translate a device BAR offset to a host-physical address."""
+        if not 0 <= offset < self.bar_bytes:
+            raise AddressError(f"offset {offset:#x} is outside the BAR")
+        return DEVICE_BASE + offset
+
+    def core_of_offset(self, offset: int) -> int:
+        """Which core's partition a BAR offset belongs to."""
+        if not 0 <= offset < self.bar_bytes:
+            raise AddressError(f"offset {offset:#x} is outside the BAR")
+        core = offset // self.partition_bytes
+        if core >= self.cores:
+            # Tail slack from partition alignment belongs to the last core.
+            core = self.cores - 1
+        return core
+
+    def partition_base(self, core: int) -> int:
+        """Host-physical base of ``core``'s data partition."""
+        self._check_core(core)
+        return DEVICE_BASE + core * self.partition_bytes
+
+    def partition_offset(self, core: int, offset: int) -> int:
+        """A partition-relative offset (what per-core replay traces use)."""
+        self._check_core(core)
+        base = core * self.partition_bytes
+        if not base <= offset < base + self.partition_bytes and not (
+            core == self.cores - 1 and base <= offset < self.bar_bytes
+        ):
+            raise AddressError(
+                f"offset {offset:#x} is not in core {core}'s partition"
+            )
+        return offset - base
+
+    # -- control BAR -------------------------------------------------------------
+
+    def doorbell_addr(self, core: int) -> int:
+        """Host-physical address of ``core``'s doorbell register."""
+        self._check_core(core)
+        return self.control_base + 8 * core
+
+    def doorbell_core(self, addr: int) -> int | None:
+        """The core whose doorbell ``addr`` is, or None."""
+        if self.control_base <= addr < self.control_base + 8 * self.cores:
+            offset = addr - self.control_base
+            if offset % 8 == 0:
+                return offset // 8
+        return None
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.cores:
+            raise AddressError(f"no such core: {core}")

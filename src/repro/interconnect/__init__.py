@@ -1,0 +1,7 @@
+"""Interconnect models: PCIe link, host DRAM, FPGA on-board DRAM."""
+
+from repro.interconnect.dram import DramChannel
+from repro.interconnect.packets import Tlp, TlpKind
+from repro.interconnect.pcie import PcieDirection, PcieLink
+
+__all__ = ["DramChannel", "Tlp", "TlpKind", "PcieDirection", "PcieLink"]

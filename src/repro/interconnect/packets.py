@@ -1,0 +1,71 @@
+"""PCIe transaction-layer packet (TLP) definitions.
+
+The paper's section V-C bandwidth analysis is an exercise in TLP
+accounting: a 64-byte payload carries a 24-byte header (38% overhead),
+and the software-queue protocol multiplies the number of TLPs per
+useful access (descriptor reads, data writes, completion writes).  We
+therefore model every individual TLP.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["TlpKind", "Tlp"]
+
+_tlp_ids = itertools.count()
+
+
+class TlpKind(enum.Enum):
+    """Transaction types used by the emulator's protocols."""
+
+    #: Memory read request (no payload).  Host->device for MMIO loads;
+    #: device->host for descriptor DMA reads.
+    MEM_READ = "MRd"
+    #: Completion with data (payload = data read).
+    COMPLETION = "CplD"
+    #: Posted memory write (payload = data written).  Host->device for
+    #: doorbells; device->host for response data and completion-queue
+    #: entries.
+    MEM_WRITE = "MWr"
+
+
+@dataclass
+class Tlp:
+    """One transaction-layer packet.
+
+    ``payload_bytes`` is the useful data carried; the wire also carries
+    the per-TLP header, accounted by the link model.  ``tag`` matches a
+    completion to its request.  ``data`` carries functional content
+    (line bytes, descriptors) and ``context`` lets the sender attach an
+    arbitrary routing/bookkeeping object.
+    """
+
+    kind: TlpKind
+    address: int
+    payload_bytes: int
+    tag: int = field(default_factory=lambda: next(_tlp_ids))
+    requester: str = ""
+    data: Any = None
+    context: Any = None
+    #: Filled by the link: simulation time the packet entered the wire.
+    sent_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload size cannot be negative")
+        if self.kind is TlpKind.MEM_READ and self.payload_bytes != 0:
+            raise ValueError("read requests carry no payload")
+
+    def wire_bytes(self, header_bytes: int) -> int:
+        """Total bytes this packet occupies on the link."""
+        return header_bytes + self.payload_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Tlp {self.kind.value} tag={self.tag} addr={self.address:#x} "
+            f"payload={self.payload_bytes}B>"
+        )

@@ -1,0 +1,34 @@
+"""User-level threading runtime and the device-access API."""
+
+from repro.runtime.api import (
+    AccessContext,
+    KernelQueueContext,
+    OnDemandContext,
+    PrefetchContext,
+    SoftwareQueueContext,
+)
+from repro.runtime.driver import CoreRuntime, SchedulerCosts
+from repro.runtime.queuepair import Completion, Descriptor, QueuePair
+from repro.runtime.uthread import (
+    BlockOnCompletions,
+    ThreadState,
+    UserThread,
+    YIELD_CONTROL,
+)
+
+__all__ = [
+    "AccessContext",
+    "BlockOnCompletions",
+    "Completion",
+    "CoreRuntime",
+    "Descriptor",
+    "KernelQueueContext",
+    "OnDemandContext",
+    "PrefetchContext",
+    "QueuePair",
+    "SchedulerCosts",
+    "SoftwareQueueContext",
+    "ThreadState",
+    "UserThread",
+    "YIELD_CONTROL",
+]

@@ -1,0 +1,142 @@
+"""In-memory descriptor queues for the application-managed interface.
+
+Section IV-A: "the software puts memory access descriptors into an
+in-memory Request Queue and waits for the device to update the
+corresponding descriptor in an in-memory Completion Queue.  Each
+descriptor contains the address to read, and the target address where
+the response data is to be stored."
+
+These objects hold the *functional* queue state (what the bytes in
+host DRAM would say); all timing -- descriptor DMA reads, response and
+completion writes, polling loads -- is charged by the device fetcher,
+the host bridge, and the runtime around them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.errors import ProtocolError
+
+__all__ = ["Descriptor", "Completion", "QueuePair"]
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """One request-ring entry."""
+
+    #: The core whose ring this descriptor entered (completions go back
+    #: to the same core's completion queue; datasets may be shared
+    #: across cores, so the data address says nothing about the origin).
+    core_id: int
+    #: The user-level thread that issued the access (for wakeup).
+    thread_id: int
+    #: Device address to read (line-aligned by the API layer).
+    device_addr: int
+    #: Host-DRAM address the device writes the response line to.
+    response_addr: int
+    #: Fire-and-forget write: the device applies it without producing
+    #: response data or a completion entry.
+    is_write: bool = False
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One completion-ring entry."""
+
+    thread_id: int
+    device_addr: int
+    response_addr: int
+    #: Functional content of the line delivered to the response buffer.
+    data: bytes
+
+
+class QueuePair:
+    """One core's request ring + completion ring + doorbell flag.
+
+    The rings are bounded like the real in-memory rings; the host side
+    enqueues and polls, the device side batch-reads and posts.
+    """
+
+    def __init__(self, core_id: int, entries: int) -> None:
+        if entries < 2:
+            raise ProtocolError("ring must have at least 2 entries")
+        self.core_id = core_id
+        self.entries = entries
+        self._requests: Deque[Descriptor] = deque()
+        self._completions: Deque[Completion] = deque()
+        #: Device sets this when its fetcher went idle; the host must
+        #: ring the doorbell to restart it (the doorbell-request-flag
+        #: optimization of section III-A).
+        self.doorbell_needed = True
+        # Statistics for the ablation benches.
+        self.doorbells_rung = 0
+        self.descriptors_enqueued = 0
+        self.completions_posted = 0
+        self.max_request_depth = 0
+
+    # -- host side -------------------------------------------------------------
+
+    def enqueue(self, descriptor: Descriptor) -> None:
+        """Host: append a request descriptor (ring must not be full)."""
+        if len(self._requests) >= self.entries:
+            raise ProtocolError(
+                f"request ring of core {self.core_id} overflowed "
+                f"({self.entries} entries; too many threads per core?)"
+            )
+        self._requests.append(descriptor)
+        self.descriptors_enqueued += 1
+        self.max_request_depth = max(self.max_request_depth, len(self._requests))
+
+    def note_doorbell(self) -> None:
+        """Host: it has rung the doorbell and cleared the flag."""
+        self.doorbell_needed = False
+        self.doorbells_rung += 1
+
+    def pop_completion(self) -> Optional[Completion]:
+        """Host: consume the oldest visible completion, if any."""
+        if self._completions:
+            return self._completions.popleft()
+        return None
+
+    @property
+    def completions_visible(self) -> int:
+        return len(self._completions)
+
+    # -- device side ------------------------------------------------------------
+
+    def device_fetch(self, max_count: int) -> list[Descriptor]:
+        """Device: take up to ``max_count`` descriptors from the ring.
+
+        Models the burst DMA read: the entries present in host memory
+        at DRAM-read time are what the device observes.
+        """
+        if max_count < 1:
+            raise ProtocolError("fetch burst must be >= 1")
+        batch: list[Descriptor] = []
+        while self._requests and len(batch) < max_count:
+            batch.append(self._requests.popleft())
+        return batch
+
+    def device_set_doorbell_flag(self) -> None:
+        """Device: request a doorbell before the next enqueue."""
+        self.doorbell_needed = True
+
+    def device_post_completion(self, completion: Completion) -> None:
+        """Device: make a completion visible to host polling.
+
+        Called by the host bridge when the completion-queue DMA write
+        lands in DRAM -- i.e. already timed.
+        """
+        if len(self._completions) >= self.entries:
+            raise ProtocolError(
+                f"completion ring of core {self.core_id} overflowed"
+            )
+        self._completions.append(completion)
+        self.completions_posted += 1
+
+    @property
+    def requests_pending(self) -> int:
+        return len(self._requests)

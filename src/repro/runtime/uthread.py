@@ -1,0 +1,85 @@
+"""User-level threads and the control effects they yield.
+
+The paper's support software (section IV-B) is a heavily optimized GNU
+Pth: cooperative user-level threads multiplexed on each core, with a
+20-50 ns context switch.  Here a user thread is a Python generator
+driven by its core's runtime process.  A thread may yield:
+
+* any simulation :class:`~repro.sim.Event` -- the thread (and hence
+  the core) waits for it; this is how device access code expresses
+  hardware waiting;
+* :data:`YIELD_CONTROL` -- a cooperative switch: the scheduler charges
+  the context-switch cost and runs the next ready thread;
+* :class:`BlockOnCompletions` -- (queue mechanisms) deschedule until
+  the device has posted ``count`` completions for this thread.
+
+Workload code never yields these directly; it goes through the
+mechanism's :class:`~repro.runtime.api.AccessContext`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Optional
+
+__all__ = ["YIELD_CONTROL", "BlockOnCompletions", "ThreadState", "UserThread"]
+
+
+class _YieldControl:
+    """Singleton sentinel for a cooperative context switch."""
+
+    _instance: Optional["_YieldControl"] = None
+
+    def __new__(cls) -> "_YieldControl":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<YIELD_CONTROL>"
+
+
+#: Yield this to hand the core to the next ready thread.
+YIELD_CONTROL = _YieldControl()
+
+
+class BlockOnCompletions:
+    """Deschedule until ``count`` completions arrive for this thread.
+
+    The scheduler resumes the thread with the list of
+    :class:`~repro.runtime.queuepair.Completion` records.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError("must block on at least one completion")
+        self.count = count
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+
+class UserThread:
+    """One cooperative thread: a generator plus scheduling state."""
+
+    def __init__(self, thread_id: int, body: Generator) -> None:
+        self.thread_id = thread_id
+        self.body = body
+        self.state = ThreadState.READY
+        #: Value delivered at next resume (completions, event values).
+        self.inbox: Any = None
+        #: Completions collected while blocked.
+        self.collected: list = []
+        #: Completions still awaited before becoming ready again.
+        self.awaiting = 0
+        self.switches = 0
+        self.result: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<UserThread {self.thread_id} {self.state.value}>"

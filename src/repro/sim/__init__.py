@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel (events, processes, resources, probes)."""
+
+from repro.sim.kernel import Event, Process, Simulator, all_of, any_of
+from repro.sim.resources import Resource, Store
+from repro.sim.trace import Counter, LatencyStat, ProbeSet, TimeWeighted
+
+__all__ = [
+    "Event",
+    "Process",
+    "Simulator",
+    "all_of",
+    "any_of",
+    "Resource",
+    "Store",
+    "Counter",
+    "LatencyStat",
+    "ProbeSet",
+    "TimeWeighted",
+]

@@ -1,0 +1,164 @@
+"""Instrumentation helpers: counters, time-weighted stats, histograms.
+
+The experiment harness measures "work IPC" over a steady-state window
+(section IV-C of the paper).  These probes support windowed counting:
+a probe accumulates only while :attr:`active`; the harness toggles the
+flag at simulated times, so activation is exact with respect to event
+order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Counter", "TimeWeighted", "LatencyStat", "ProbeSet"]
+
+
+class Counter:
+    """A windowed event counter (e.g. retired work instructions)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.total = 0
+        self.windowed = 0
+        self.active = False
+
+    def add(self, amount: int = 1) -> None:
+        self.total += amount
+        if self.active:
+            self.windowed += amount
+
+    def reset_window(self) -> None:
+        self.windowed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name} total={self.total} window={self.windowed}>"
+
+
+class TimeWeighted:
+    """Time-weighted statistic of a piecewise-constant value.
+
+    Used for queue occupancy and link utilization: ``update(now, v)``
+    records that the value is ``v`` from ``now`` onward.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value = 0.0
+        self._last = 0
+        self._integral = 0.0
+        self.maximum = 0.0
+
+    def update(self, now: int, value: float) -> None:
+        if now < self._last:
+            raise ValueError("time-weighted update moved backwards in time")
+        self._integral += self._value * (now - self._last)
+        self._last = now
+        self._value = value
+        self.maximum = max(self.maximum, value)
+
+    def mean(self, now: int) -> float:
+        if now <= 0:
+            return 0.0
+        return (self._integral + self._value * (now - self._last)) / now
+
+
+class LatencyStat:
+    """Streaming min/mean/max/percentile tracker for latencies."""
+
+    #: Cap on retained samples; beyond it we subsample deterministically.
+    MAX_SAMPLES = 65536
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.minimum: Optional[int] = None
+        self.maximum: Optional[int] = None
+        self._samples: list[int] = []
+        self._stride = 1
+
+    def record(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if (self.count - 1) % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > self.MAX_SAMPLES:
+                # Keep every other sample and double the stride.
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile ``p`` in [0, 100] from retained samples."""
+        if not self._samples:
+            return math.nan
+        ordered = sorted(self._samples)
+        if p <= 0:
+            return float(ordered[0])
+        if p >= 100:
+            return float(ordered[-1])
+        rank = p / 100 * (len(ordered) - 1)
+        low = int(rank)
+        frac = rank - low
+        if low + 1 >= len(ordered):
+            return float(ordered[-1])
+        return ordered[low] * (1 - frac) + ordered[low + 1] * frac
+
+
+@dataclass
+class ProbeSet:
+    """A named bag of probes shared across a system's components."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    latencies: dict[str, LatencyStat] = field(default_factory=dict)
+    weighted: dict[str, TimeWeighted] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def latency(self, name: str) -> LatencyStat:
+        if name not in self.latencies:
+            self.latencies[name] = LatencyStat(name)
+        return self.latencies[name]
+
+    def time_weighted(self, name: str) -> TimeWeighted:
+        if name not in self.weighted:
+            self.weighted[name] = TimeWeighted(name)
+        return self.weighted[name]
+
+    def set_window_active(self, active: bool) -> None:
+        """Toggle windowed accumulation on every counter."""
+        for counter in self.counters.values():
+            counter.active = active
+
+    def reset_windows(self) -> None:
+        for counter in self.counters.values():
+            counter.reset_window()
+
+
+def percentile_of_sorted(ordered: list[int], p: float) -> float:
+    """Exact percentile of an already-sorted list (test helper)."""
+    if not ordered:
+        return math.nan
+    if p <= 0:
+        return float(ordered[0])
+    if p >= 100:
+        return float(ordered[-1])
+    rank = p / 100 * (len(ordered) - 1)
+    low = int(rank)
+    frac = rank - low
+    if low + 1 >= len(ordered):
+        return float(ordered[-1])
+    return ordered[low] * (1 - frac) + ordered[low + 1] * frac

@@ -1,0 +1,29 @@
+"""Workloads: the microbenchmark and the three application studies."""
+
+from repro.workloads.bfs import BfsParams, BfsRun, CsrGraph, generate_graph, install_bfs
+from repro.workloads.bloom import BloomFilter, BloomParams, install_bloom
+from repro.workloads.memcached import KvStore, MemcachedParams, install_memcached
+from repro.workloads.microbench import (
+    MicrobenchSpec,
+    install_microbench,
+    microbench_thread,
+)
+from repro.workloads.spin import SpinBarrier
+
+__all__ = [
+    "BfsParams",
+    "BfsRun",
+    "BloomFilter",
+    "BloomParams",
+    "CsrGraph",
+    "KvStore",
+    "MemcachedParams",
+    "MicrobenchSpec",
+    "SpinBarrier",
+    "generate_graph",
+    "install_bfs",
+    "install_bloom",
+    "install_memcached",
+    "install_microbench",
+    "microbench_thread",
+]

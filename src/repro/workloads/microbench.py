@@ -1,0 +1,114 @@
+"""The paper's microbenchmark (section IV-C).
+
+"Its main loop includes a device access followed by a set of 'work'
+instructions that depend on the result of the device access ... the
+work comprises only arithmetic instructions, but is constructed with
+sufficiently-many internal dependencies so as to limit its IPC to ~1.4
+on a 4-wide out-of-order machine.  The microbenchmark supports
+changing the number of work instructions performed per device access
+(the work-count) ... we make each access go to a different cache line.
+"
+
+MLP variants ("n-read", Figure 6) issue ``reads_per_batch`` accesses
+per work block with "a single context switch after issuing multiple
+prefetches".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError
+from repro.host.system import System
+from repro.runtime.api import AccessContext
+
+__all__ = ["MicrobenchSpec", "microbench_thread", "install_microbench"]
+
+
+@dataclass(frozen=True)
+class MicrobenchSpec:
+    """Parameters of the microbenchmark loop."""
+
+    #: Work instructions per loop iteration (the paper's work-count).
+    work_count: int = 200
+    #: Independent reads per iteration (1 = the base microbenchmark,
+    #: 2/4 = the "2-read"/"4-read" MLP variants).
+    reads_per_batch: int = 1
+    #: Posted writes per iteration (0 in the paper's experiments; the
+    #: write-extension benches exercise section VII's future work).
+    writes_per_batch: int = 0
+    #: Loop iterations; None runs forever (windowed measurement).
+    iterations: Optional[int] = None
+    #: Distinct cache lines each thread cycles through.  Sized so lines
+    #: are evicted from L1 long before they are revisited, preserving
+    #: "each access goes to a different cache line".
+    lines_per_thread: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.work_count < 0:
+            raise ConfigError("work count cannot be negative")
+        if self.reads_per_batch < 1:
+            raise ConfigError("need at least one read per batch")
+        if self.writes_per_batch < 0:
+            raise ConfigError("writes per batch cannot be negative")
+        if self.iterations is not None and self.iterations < 1:
+            raise ConfigError("iterations must be positive (or None)")
+        if self.lines_per_thread < self.reads_per_batch:
+            raise ConfigError("per-thread region smaller than one batch")
+
+
+def _address_stream(
+    base: int, line_bytes: int, lines: int, start_index: int = 0
+) -> Iterator[int]:
+    """Distinct-line addresses, cycling through the thread's region."""
+    index = start_index
+    while True:
+        yield base + (index % lines) * line_bytes
+        index += 1
+
+
+def microbench_thread(ctx: AccessContext, spec: MicrobenchSpec, region_base: int,
+                      line_bytes: int = 64, phase: int = 0):
+    """One microbenchmark thread: access batch, then dependent work.
+
+    ``phase`` offsets the thread's position in its region so that
+    concurrent threads do not walk cache-set-aliased addresses in
+    lockstep (per-thread regions are multiples of the L1 way span, so
+    without a phase shift every thread's current line would land in
+    the same set and evict its siblings before their loads arrive).
+    """
+    addresses = _address_stream(
+        region_base, line_bytes, spec.lines_per_thread, start_index=phase
+    )
+    write_addresses = _address_stream(
+        region_base, line_bytes, spec.lines_per_thread,
+        start_index=phase + spec.lines_per_thread // 2,
+    )
+    iteration = 0
+    while spec.iterations is None or iteration < spec.iterations:
+        batch = [next(addresses) for _ in range(spec.reads_per_batch)]
+        tokens = yield from ctx.read_batch_async(batch)
+        yield from ctx.work(spec.work_count, after=tokens)
+        for _ in range(spec.writes_per_batch):
+            yield from ctx.write(next(write_addresses), iteration)
+        iteration += 1
+
+
+def install_microbench(
+    system: System, spec: MicrobenchSpec, threads_per_core: int
+) -> None:
+    """Spawn the microbenchmark on every core of ``system``.
+
+    Each thread receives its own region of distinct cache lines, carved
+    from its core's data placement (device partition, or host DRAM for
+    the baseline), so no two accesses in flight ever share a line.
+    """
+    line_bytes = system.config.cache.line_bytes
+    region_bytes = spec.lines_per_thread * line_bytes
+
+    def factory(ctx: AccessContext, core_id: int, slot: int):
+        base = system.alloc_data(core_id, region_bytes)
+        return microbench_thread(ctx, spec, base, line_bytes, phase=slot * 17)
+
+    system.spawn_per_core(threads_per_core, factory)

@@ -1,0 +1,38 @@
+"""Synchronization primitives built on cooperative yielding.
+
+User-level threads cannot block in the kernel; they spin-yield, which
+is exactly what the paper's threads do when "they encountered a
+synchronization operation that prevents further progress" (section
+III-B) -- the scheduler keeps rotating through them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.runtime.api import AccessContext
+
+__all__ = ["SpinBarrier"]
+
+
+class SpinBarrier:
+    """A reusable (generation-counted) barrier for user threads."""
+
+    def __init__(self, parties: int) -> None:
+        if parties < 1:
+            raise ConfigError("barrier needs at least one party")
+        self.parties = parties
+        self.generation = 0
+        self._arrived = 0
+        self.spins = 0
+
+    def wait(self, ctx: AccessContext):
+        """Generator: arrive, then spin-yield until everyone has."""
+        generation = self.generation
+        self._arrived += 1
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self.generation += 1
+            return
+        while self.generation == generation:
+            self.spins += 1
+            yield from ctx.yield_control()

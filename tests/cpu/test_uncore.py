@@ -1,0 +1,69 @@
+"""Unit tests for the shared uncore fabric."""
+
+import pytest
+
+from repro.config import UncoreConfig
+from repro.cpu.uncore import AddressSpace, Uncore
+from repro.errors import ConfigError
+from repro.sim import Simulator
+from repro.testing import FixedLatencyTarget
+from repro.units import ns
+
+
+def test_per_path_queue_capacities():
+    sim = Simulator()
+    uncore = Uncore(sim, UncoreConfig(pcie_queue_entries=14, dram_queue_entries=48))
+    assert uncore.queue(AddressSpace.DEVICE).capacity == 14
+    assert uncore.queue(AddressSpace.DRAM).capacity == 48
+
+
+def test_device_queue_override_for_memory_bus_attach():
+    sim = Simulator()
+    uncore = Uncore(sim, UncoreConfig(), device_queue_entries=48)
+    assert uncore.queue(AddressSpace.DEVICE).capacity == 48
+
+
+def test_hop_latency_conversion():
+    sim = Simulator()
+    uncore = Uncore(sim, UncoreConfig(hop_ns=12.5))
+    assert uncore.hop_ticks == ns(12.5)
+
+
+def test_target_attachment_and_lookup():
+    sim = Simulator()
+    uncore = Uncore(sim, UncoreConfig())
+    target = FixedLatencyTarget(sim, ns(10))
+    uncore.attach_target(AddressSpace.DEVICE, target)
+    assert uncore.target(AddressSpace.DEVICE) is target
+
+
+def test_double_attachment_rejected():
+    sim = Simulator()
+    uncore = Uncore(sim, UncoreConfig())
+    uncore.attach_target(AddressSpace.DRAM, FixedLatencyTarget(sim, ns(10)))
+    with pytest.raises(ConfigError):
+        uncore.attach_target(AddressSpace.DRAM, FixedLatencyTarget(sim, ns(10)))
+
+
+def test_missing_target_rejected():
+    sim = Simulator()
+    uncore = Uncore(sim, UncoreConfig())
+    with pytest.raises(ConfigError):
+        uncore.target(AddressSpace.DEVICE)
+
+
+def test_max_occupancy_tracks_peak():
+    sim = Simulator()
+    uncore = Uncore(sim, UncoreConfig(pcie_queue_entries=4))
+    queue = uncore.queue(AddressSpace.DEVICE)
+
+    def user(hold):
+        yield queue.acquire()
+        yield sim.timeout(hold)
+        queue.release()
+
+    for _ in range(3):
+        sim.process(user(ns(100)))
+    sim.run()
+    assert uncore.max_occupancy(AddressSpace.DEVICE) == 3
+    assert uncore.max_occupancy(AddressSpace.DRAM) == 0

@@ -1,0 +1,98 @@
+"""Unit tests for the emulator's delay module."""
+
+import pytest
+
+from repro.device.delay import DelayModule
+from repro.errors import ConfigError
+from repro.sim import Simulator
+from repro.units import ns
+
+
+def test_response_released_at_arrival_plus_delay():
+    sim = Simulator()
+    sent = []
+    delay = DelayModule(sim, ns(500), sent.append)
+
+    def driver():
+        yield sim.timeout(ns(100))
+        delay.submit("r1", arrival_time=sim.now)
+
+    sim.process(driver())
+    sim.run()
+    assert sent == ["r1"]
+    assert sim.now == ns(600)
+
+
+def test_delay_measured_from_arrival_not_submission():
+    """Data that took time to produce still targets arrival + delay."""
+    sim = Simulator()
+    sent = []
+    delay = DelayModule(sim, ns(500), lambda r: sent.append((r, sim.now)))
+
+    def driver():
+        arrival = sim.now
+        yield sim.timeout(ns(200))  # data production time
+        delay.submit("late-data", arrival_time=arrival)
+
+    sim.process(driver())
+    sim.run()
+    assert sent == [("late-data", ns(500))]
+    assert delay.deadline_misses == 0
+
+
+def test_deadline_miss_counted_and_released_immediately():
+    sim = Simulator()
+    sent = []
+    delay = DelayModule(sim, ns(100), lambda r: sent.append((r, sim.now)))
+
+    def driver():
+        arrival = sim.now
+        yield sim.timeout(ns(400))  # data took longer than the deadline
+        delay.submit("missed", arrival_time=arrival)
+
+    sim.process(driver())
+    sim.run()
+    assert sent == [("missed", ns(400))]
+    assert delay.deadline_misses == 1
+    assert delay.worst_miss_ticks == ns(300)
+
+
+def test_responses_keep_order_for_equal_deadlines():
+    sim = Simulator()
+    sent = []
+    delay = DelayModule(sim, ns(100), sent.append)
+    delay.submit("a", arrival_time=0)
+    delay.submit("b", arrival_time=0)
+    sim.run()
+    assert sent == ["a", "b"]
+
+
+def test_interleaved_arrivals_release_in_deadline_order():
+    sim = Simulator()
+    sent = []
+    delay = DelayModule(sim, ns(100), lambda r: sent.append((r, sim.now)))
+
+    def driver():
+        delay.submit("first", arrival_time=0)
+        yield sim.timeout(ns(30))
+        delay.submit("second", arrival_time=sim.now)
+
+    sim.process(driver())
+    sim.run()
+    assert sent == [("first", ns(100)), ("second", ns(130))]
+    assert delay.released == 2
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ConfigError):
+        DelayModule(sim, -1, lambda r: None)
+
+
+def test_queued_statistic():
+    sim = Simulator()
+    delay = DelayModule(sim, ns(100), lambda r: None)
+    delay.submit("x", arrival_time=0)
+    assert delay.queued == 1
+    sim.run()
+    assert delay.queued == 0

@@ -1,0 +1,181 @@
+"""Unit tests for the replay trace, streamer, and sliding window."""
+
+import pytest
+
+from repro.device.replay import AccessTrace, ReplayModule, ReplayStreamer, TraceEntry
+from repro.errors import ReplayError
+from repro.interconnect.dram import DramChannel
+from repro.sim import Simulator
+from repro.units import ns
+
+
+def line(i):
+    return i * 64
+
+
+def data(i):
+    return bytes([i % 256]) * 64
+
+
+def make_trace(n):
+    return AccessTrace(TraceEntry(line(i), data(i)) for i in range(n))
+
+
+def make_module(sim, n=20, window=8, max_skip=4):
+    return ReplayModule(sim, make_trace(n), window_size=window, max_skip_age=max_skip)
+
+
+def test_trace_records_and_iterates():
+    trace = AccessTrace()
+    trace.record(line(1), data(1))
+    trace.record(line(2), data(2))
+    assert len(trace) == 2
+    assert [entry.line_addr for entry in trace] == [line(1), line(2)]
+    assert trace.storage_bytes == 2 * AccessTrace.ENTRY_BYTES
+
+
+def test_trace_with_offset_shifts_addresses():
+    trace = make_trace(3)
+    shifted = trace.with_offset(0x1000)
+    assert [e.line_addr for e in shifted] == [0x1000 + line(i) for i in range(3)]
+    assert [e.data for e in shifted] == [e.data for e in trace]
+
+
+def test_in_order_replay_matches_everything():
+    sim = Simulator()
+    replay = make_module(sim, n=20)
+    for i in range(20):
+        assert replay.lookup(line(i)) == data(i)
+    assert replay.matches == 20
+    assert replay.in_order_matches == 20
+    assert replay.spurious_requests == 0
+
+
+def test_cache_hit_skips_are_tolerated():
+    """Entries the host never requests (CPU cache hits) must not block
+    later matches."""
+    sim = Simulator()
+    replay = make_module(sim, n=20, window=8)
+    # Host requests only every other recorded access.
+    for i in range(0, 20, 2):
+        assert replay.lookup(line(i)) == data(i)
+    assert replay.matches == 10
+    assert replay.spurious_requests == 0
+
+
+def test_reordered_requests_match_within_window():
+    sim = Simulator()
+    replay = make_module(sim, n=10, window=8)
+    order = [1, 0, 3, 2, 5, 4, 7, 6]
+    for i in order:
+        assert replay.lookup(line(i)) == data(i)
+    assert replay.reordered_matches > 0
+    assert replay.spurious_requests == 0
+
+
+def test_spurious_request_returns_none():
+    sim = Simulator()
+    replay = make_module(sim, n=10)
+    assert replay.lookup(0xDEAD000) is None
+    assert replay.spurious_requests == 1
+    # The window is untouched: the real sequence still matches.
+    assert replay.lookup(line(0)) == data(0)
+
+
+def test_skipped_entries_age_out_and_window_advances():
+    """A long run of never-requested entries must not wedge the window."""
+    sim = Simulator()
+    replay = make_module(sim, n=40, window=4, max_skip=2)
+    # Request only the second half of the trace; the first 20 entries
+    # are "cache hits" that must age out as matches proceed.
+    matched = 0
+    for i in range(20, 40):
+        if replay.lookup(line(i)) == data(i):
+            matched += 1
+    assert matched >= 10  # window advances past the stale prefix
+    assert replay.skipped_entries > 0
+
+
+def test_duplicate_line_in_trace_matches_twice():
+    sim = Simulator()
+    trace = AccessTrace(
+        [TraceEntry(line(1), data(1)), TraceEntry(line(1), data(2))]
+    )
+    replay = ReplayModule(sim, trace, window_size=4)
+    assert replay.lookup(line(1)) == data(1)  # oldest first (age-based)
+    assert replay.lookup(line(1)) == data(2)
+
+
+def test_invalid_window_rejected():
+    sim = Simulator()
+    with pytest.raises(ReplayError):
+        ReplayModule(sim, make_trace(4), window_size=0)
+    with pytest.raises(ReplayError):
+        ReplayModule(sim, make_trace(4), window_size=4, max_skip_age=0)
+
+
+def test_streamer_delivers_all_entries_in_order():
+    sim = Simulator()
+    channel = DramChannel(sim, latency_ticks=ns(100), bandwidth_bytes_per_s=6.4e9)
+    streamer = ReplayStreamer(sim, make_trace(50), channel, fifo_depth=8,
+                              burst_entries=4)
+    received = []
+
+    def consumer():
+        for _ in range(50):
+            entry = yield streamer.fifo.get()
+            received.append(entry.line_addr)
+
+    sim.process(consumer())
+    sim.run()
+    assert received == [line(i) for i in range(50)]
+    assert streamer.exhausted
+    assert streamer.streamed == 50
+
+
+def test_streamer_respects_fifo_bound():
+    sim = Simulator()
+    channel = DramChannel(sim, latency_ticks=ns(100), bandwidth_bytes_per_s=6.4e9)
+    streamer = ReplayStreamer(sim, make_trace(50), channel, fifo_depth=8,
+                              burst_entries=4)
+    sim.run(until=ns(100_000))
+    # Without a consumer, the stream stalls at the FIFO bound.
+    assert len(streamer.fifo) == 8
+    assert not streamer.exhausted
+
+
+def test_streamed_window_reports_starvation():
+    """If the host outruns the stream, lookups are starved (counted)."""
+    sim = Simulator()
+    slow = DramChannel(sim, latency_ticks=ns(10_000), bandwidth_bytes_per_s=1e9)
+    streamer = ReplayStreamer(sim, make_trace(10), slow, fifo_depth=4,
+                              burst_entries=1)
+    replay = ReplayModule(sim, streamer, window_size=4)
+    assert replay.lookup(line(0)) is None  # nothing streamed yet
+    assert replay.window_starved >= 1
+    assert replay.spurious_requests == 1
+
+
+def test_bulk_streaming_is_faster_than_single_entry():
+    def stream_time(burst):
+        sim = Simulator()
+        channel = DramChannel(
+            sim, latency_ticks=ns(200), bandwidth_bytes_per_s=6.4e9
+        )
+        streamer = ReplayStreamer(
+            sim, make_trace(64), channel, fifo_depth=64, burst_entries=burst
+        )
+        sim.run()
+        assert streamer.exhausted
+        return sim.now
+
+    assert stream_time(16) < stream_time(1) / 3
+
+
+def test_remaining_counts_unadmitted_entries():
+    sim = Simulator()
+    replay = make_module(sim, n=20, window=8)
+    assert replay.remaining == 20
+    replay.lookup(line(0))
+    # Window admitted 8 + refill after the match.
+    assert replay.remaining <= 12

@@ -1,0 +1,82 @@
+"""Tests for trace persistence (save once, replay many times)."""
+
+import pytest
+
+from repro.device.replay import AccessTrace, TraceEntry
+from repro.errors import ReplayError
+
+
+def sample_trace(n=20, line_bytes=64):
+    return AccessTrace(
+        TraceEntry(i * 64, bytes([i % 256]) * line_bytes) for i in range(n)
+    )
+
+
+def test_save_load_roundtrip(tmp_path):
+    path = tmp_path / "trace.bin"
+    trace = sample_trace()
+    written = trace.save(path)
+    assert written == path.stat().st_size
+    loaded = AccessTrace.load(path)
+    assert len(loaded) == len(trace)
+    assert list(loaded) == list(trace)
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    path = tmp_path / "empty.bin"
+    AccessTrace().save(path)
+    assert len(AccessTrace.load(path)) == 0
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bogus.bin"
+    path.write_bytes(b"NOTATRACEFILE")
+    with pytest.raises(ReplayError, match="magic"):
+        AccessTrace.load(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "trunc.bin"
+    sample_trace().save(path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-10])
+    with pytest.raises(ReplayError, match="truncated"):
+        AccessTrace.load(path)
+
+
+def test_inconsistent_line_sizes_rejected(tmp_path):
+    trace = AccessTrace(
+        [TraceEntry(0, b"\x00" * 64), TraceEntry(64, b"\x00" * 32)]
+    )
+    with pytest.raises(ReplayError, match="inconsistent"):
+        trace.save(tmp_path / "bad.bin")
+
+
+def test_saved_trace_drives_a_replay_run(tmp_path):
+    """End to end: record -> save -> load -> replay."""
+    from repro.config import AccessMechanism, SystemConfig
+    from repro.host.system import System
+    from repro.workloads.microbench import MicrobenchSpec, install_microbench
+
+    def build():
+        system = System(
+            SystemConfig(mechanism=AccessMechanism.PREFETCH, threads_per_core=4)
+        )
+        install_microbench(
+            system, MicrobenchSpec(work_count=100, iterations=25), 4
+        )
+        return system
+
+    recorder = build()
+    recorder.device.start_recording()
+    recorder.run_to_completion(limit_ticks=10**11)
+    traces = recorder.device.stop_recording()
+    path = tmp_path / "core0.bin"
+    traces[0].save(path)
+
+    replayer = build()
+    replayer.device.load_traces({0: AccessTrace.load(path)}, streamed=True)
+    replayer.run_to_completion(limit_ticks=10**11)
+    replay = replayer.device.replay_modules[0]
+    assert replay.matches == 100
+    assert replay.spurious_requests == 0

@@ -1,0 +1,141 @@
+"""Unit tests for the experiment harness and baseline caching."""
+
+import pytest
+
+from repro.config import AccessMechanism, BackingStore, DeviceConfig, SystemConfig
+from repro.harness.applications import (
+    MicrobenchAppParams,
+    default_params,
+    normalized_application,
+    run_application,
+)
+from repro.harness.experiment import (
+    BaselineCache,
+    MeasureWindow,
+    microbench_baseline,
+    normalized_microbench,
+    run_microbench,
+)
+from repro.workloads.microbench import MicrobenchSpec
+
+WINDOW = MeasureWindow(warmup_us=10.0, measure_us=30.0)
+
+
+def test_measure_window_ticks():
+    window = MeasureWindow(warmup_us=10.0, measure_us=30.0)
+    assert window.warmup_ticks == 10_000_000
+    assert window.measure_ticks == 30_000_000
+
+
+def test_run_microbench_produces_stats_and_report():
+    config = SystemConfig(mechanism=AccessMechanism.PREFETCH, threads_per_core=4)
+    result = run_microbench(config, MicrobenchSpec(work_count=100), WINDOW)
+    assert result.work_ipc > 0
+    assert result.stats.accesses > 0
+    assert "lfb_max_per_core" in result.report
+
+
+def test_baseline_is_single_thread_dram():
+    config = SystemConfig(
+        mechanism=AccessMechanism.PREFETCH, cores=4, threads_per_core=8
+    )
+    baseline = microbench_baseline(config, MicrobenchSpec(work_count=100), WINDOW)
+    assert baseline.config.cores == 1
+    assert baseline.config.threads_per_core == 1
+    assert baseline.config.backing is BackingStore.DRAM
+    assert baseline.config.mechanism is AccessMechanism.ON_DEMAND
+
+
+def test_baseline_cache_reuses_runs():
+    cache = BaselineCache()
+    config = SystemConfig(mechanism=AccessMechanism.PREFETCH)
+    spec = MicrobenchSpec(work_count=100)
+    first = cache.get(config, spec, WINDOW)
+    second = cache.get(config.replace(threads_per_core=12), spec, WINDOW)
+    assert first is second  # same baseline key
+    third = cache.get(config, MicrobenchSpec(work_count=200), WINDOW)
+    assert third is not first  # different work-count, different baseline
+
+
+def test_baseline_matches_mlp():
+    cache = BaselineCache()
+    config = SystemConfig(mechanism=AccessMechanism.PREFETCH)
+    mlp1 = cache.get(config, MicrobenchSpec(work_count=100), WINDOW)
+    mlp4 = cache.get(
+        config, MicrobenchSpec(work_count=100, reads_per_batch=4), WINDOW
+    )
+    assert mlp1 is not mlp4
+    assert mlp4.spec.reads_per_batch == 4
+
+
+def test_normalized_microbench_is_ratio():
+    config = SystemConfig(
+        mechanism=AccessMechanism.ON_DEMAND,
+        device=DeviceConfig(total_latency_us=1.0),
+    )
+    spec = MicrobenchSpec(work_count=100)
+    value, result = normalized_microbench(config, spec, WINDOW)
+    baseline = microbench_baseline(config, spec, WINDOW)
+    assert value == pytest.approx(result.work_ipc / baseline.work_ipc)
+    assert 0 < value < 1
+
+
+def test_default_params_for_every_application():
+    for name in ("bloom", "memcached", "bfs", "microbench-4read"):
+        assert default_params(name) is not None
+    with pytest.raises(Exception):
+        default_params("nope")
+
+
+def test_run_application_counts_operations():
+    config = SystemConfig(mechanism=AccessMechanism.PREFETCH, threads_per_core=2)
+    params = MicrobenchAppParams(work_count=100, queries_per_thread=10)
+    run = run_application(config, "microbench-4read", params)
+    assert run.operations == 2 * 10
+    assert run.ticks > 0
+    assert run.ticks_per_operation == run.ticks / 20
+
+
+def test_normalized_application_scales_with_threads():
+    params = MicrobenchAppParams(work_count=100, queries_per_thread=12)
+    slow, _ = normalized_application(
+        SystemConfig(mechanism=AccessMechanism.PREFETCH, threads_per_core=1),
+        "microbench-4read",
+        params,
+    )
+    fast, _ = normalized_application(
+        SystemConfig(mechanism=AccessMechanism.PREFETCH, threads_per_core=3),
+        "microbench-4read",
+        params,
+    )
+    assert fast > slow
+
+
+def test_access_latency_statistics_recorded():
+    from repro.config import DeviceConfig
+
+    config = SystemConfig(
+        mechanism=AccessMechanism.PREFETCH,
+        threads_per_core=4,
+        device=DeviceConfig(total_latency_us=2.0),
+    )
+    result = run_microbench(config, MicrobenchSpec(work_count=100), WINDOW)
+    stats = result.report["access_latency_ns"]
+    assert stats is not None
+    assert stats["count"] > 50
+    # Thread-visible latency is at least the device latency.
+    assert stats["p50"] >= 1990
+    assert stats["max"] >= stats["p50"] >= 0
+
+
+def test_access_latency_on_demand_equals_device_latency():
+    from repro.config import DeviceConfig
+
+    config = SystemConfig(
+        mechanism=AccessMechanism.ON_DEMAND,
+        threads_per_core=1,
+        device=DeviceConfig(total_latency_us=1.0),
+    )
+    result = run_microbench(config, MicrobenchSpec(work_count=100), WINDOW)
+    stats = result.report["access_latency_ns"]
+    assert abs(stats["p50"] - 1000) < 30

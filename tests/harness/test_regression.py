@@ -1,0 +1,99 @@
+"""Tests for figure baselines and comparison."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.figures import FigureResult
+from repro.harness.regression import (
+    compare_to_baseline,
+    figure_from_dict,
+    figure_to_dict,
+    load_baseline,
+    save_baseline,
+)
+
+
+def make_figure(values=(0.1, 0.5, 1.0)):
+    figure = FigureResult("figZ", "Test", xlabel="threads", ylabel="norm")
+    series = figure.new_series("1us")
+    for x, y in zip((1, 4, 10), values):
+        series.add(x, y)
+    other = figure.new_series("4us")
+    other.add(1, 0.05)
+    return figure
+
+
+def test_roundtrip_through_dict():
+    figure = make_figure()
+    clone = figure_from_dict(figure_to_dict(figure))
+    assert clone.figure_id == figure.figure_id
+    assert clone.get("1us").points == figure.get("1us").points
+    assert clone.get("4us").points == figure.get("4us").points
+
+
+def test_save_and_load_file(tmp_path):
+    path = tmp_path / "base.json"
+    save_baseline(make_figure(), path)
+    loaded = load_baseline(path)
+    assert loaded.get("1us").y_at(10) == 1.0
+
+
+def test_bad_format_rejected():
+    with pytest.raises(ConfigError):
+        figure_from_dict({"format": "something-else"})
+
+
+def test_identical_runs_have_no_deviations():
+    assert compare_to_baseline(make_figure(), make_figure()) == []
+
+
+def test_small_drift_within_tolerance():
+    baseline = make_figure((0.1, 0.5, 1.0))
+    current = make_figure((0.102, 0.51, 1.02))
+    assert compare_to_baseline(current, baseline, rtol=0.05) == []
+
+
+def test_large_drift_reported():
+    baseline = make_figure((0.1, 0.5, 1.0))
+    current = make_figure((0.1, 0.8, 1.0))
+    deviations = compare_to_baseline(current, baseline)
+    assert len(deviations) == 1
+    assert deviations[0].kind == "value"
+    assert deviations[0].x == 4
+    assert "0.5000 -> 0.8000" in deviations[0].describe()
+
+
+def test_structural_changes_reported():
+    baseline = make_figure()
+    current = make_figure()
+    current.series.pop()  # drop "4us"
+    extra = current.new_series("8us")
+    extra.add(1, 0.01)
+    current.get("1us").points.pop()  # drop x=10
+    deviations = compare_to_baseline(current, baseline)
+    kinds = {d.kind for d in deviations}
+    assert kinds == {"missing-series", "new-series", "missing-point"}
+
+
+def test_mismatched_figures_rejected():
+    baseline = make_figure()
+    other = FigureResult("figQ", "Other", xlabel="x", ylabel="y")
+    with pytest.raises(ConfigError):
+        compare_to_baseline(other, baseline)
+
+
+def test_cli_baseline_roundtrip(tmp_path):
+    import io
+
+    from repro.cli import main
+
+    path = tmp_path / "fig3.json"
+    out = io.StringIO()
+    assert main(["figure", "fig3", "--save-baseline", str(path)], out=out) == 0
+    assert "baseline saved" in out.getvalue()
+    out = io.StringIO()
+    # Deterministic simulator: an immediate re-run matches exactly.
+    assert (
+        main(["figure", "fig3", "--compare-baseline", str(path)], out=out) == 0
+    )
+    assert "matches baseline" in out.getvalue()

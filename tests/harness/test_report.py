@@ -1,0 +1,76 @@
+"""Unit tests for figure containers and report rendering."""
+
+import pytest
+
+from repro.harness.figures import FigureResult, Series
+from repro.harness.report import render_summary, render_table, to_csv
+
+
+def sample_figure():
+    figure = FigureResult("figX", "Sample", xlabel="threads", ylabel="norm IPC")
+    a = figure.new_series("1us")
+    a.add(1, 0.1)
+    a.add(2, 0.25)
+    b = figure.new_series("4us")
+    b.add(1, 0.05)
+    b.add(4, 0.4)
+    return figure
+
+
+def test_series_accessors():
+    series = Series("s")
+    series.add(1, 0.5)
+    series.add(2, 0.7)
+    assert series.ys() == [0.5, 0.7]
+    assert series.y_at(2) == 0.7
+    assert series.peak() == 0.7
+    with pytest.raises(KeyError):
+        series.y_at(99)
+
+
+def test_figure_get_by_label():
+    figure = sample_figure()
+    assert figure.get("1us").label == "1us"
+    with pytest.raises(KeyError):
+        figure.get("nope")
+
+
+def test_render_table_contains_all_points():
+    text = render_table(sample_figure())
+    assert "figX" in text and "threads" in text
+    assert "0.100" in text and "0.250" in text and "0.400" in text
+    # Missing (series, x) combinations render as '-'.
+    assert "-" in text
+    lines = text.splitlines()
+    # Header + rule + one row per distinct x (1, 2, 4) + title lines.
+    assert len([l for l in lines if l and l[0] != " "][0]) > 0
+
+
+def test_to_csv_roundtrips_values():
+    csv = to_csv(sample_figure())
+    rows = csv.strip().splitlines()
+    assert rows[0] == "figure,series,x,y"
+    assert "figX,1us,1,0.100000" in csv
+    assert len(rows) == 1 + 4
+
+
+def test_render_summary_reports_peaks():
+    text = render_summary([sample_figure()])
+    assert "peak  0.250 at x=2" in text
+    assert "peak  0.400 at x=4" in text
+
+
+def test_render_chart_places_markers_and_legend():
+    from repro.harness.report import render_chart
+
+    text = render_chart(sample_figure(), width=20, height=8)
+    assert "o = 1us" in text and "x = 4us" in text
+    assert "o" in text.splitlines()[-5]  # markers landed on the grid
+    assert "(threads)" in text
+
+
+def test_render_chart_empty_figure():
+    from repro.harness.report import render_chart
+
+    empty = FigureResult("figY", "Empty", xlabel="x", ylabel="y")
+    assert "(no data)" in render_chart(empty)

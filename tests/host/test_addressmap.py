@@ -1,0 +1,84 @@
+"""Unit tests for the physical address map."""
+
+import pytest
+
+from repro.cpu.uncore import AddressSpace
+from repro.errors import AddressError, ConfigError
+from repro.host.addressmap import DEVICE_BASE, AddressMap
+
+
+def test_space_routing():
+    amap = AddressMap(cores=2, bar_bytes=1 << 20)
+    assert amap.space_of(0x1000) is AddressSpace.DRAM
+    assert amap.space_of(DEVICE_BASE) is AddressSpace.DEVICE
+    assert amap.space_of(DEVICE_BASE + (1 << 20) - 64) is AddressSpace.DEVICE
+    assert amap.space_of(amap.doorbell_addr(1)) is AddressSpace.DEVICE
+
+
+def test_unmapped_address_rejected():
+    amap = AddressMap(cores=1, bar_bytes=1 << 20)
+    with pytest.raises(AddressError):
+        amap.space_of(DEVICE_BASE + (1 << 20) + 4096)
+    with pytest.raises(AddressError):
+        amap.space_of(-1)
+
+
+def test_bar_offset_roundtrip():
+    amap = AddressMap(cores=1, bar_bytes=1 << 20)
+    addr = DEVICE_BASE + 0x4540
+    assert amap.host_addr(amap.bar_offset(addr)) == addr
+    with pytest.raises(AddressError):
+        amap.bar_offset(0x1000)
+    with pytest.raises(AddressError):
+        amap.host_addr(1 << 20)
+
+
+def test_partitions_tile_the_bar():
+    amap = AddressMap(cores=4, bar_bytes=1 << 20)
+    assert amap.partition_bytes == (1 << 20) // 4
+    for core in range(4):
+        base = amap.partition_base(core)
+        assert amap.core_of_offset(amap.bar_offset(base)) == core
+        last = amap.bar_offset(base) + amap.partition_bytes - 64
+        assert amap.core_of_offset(last) == core
+
+
+def test_partition_alignment_slack_goes_to_last_core():
+    # 3 cores in 1 MiB: partitions are line-aligned; the tail slack
+    # belongs to core 2.
+    amap = AddressMap(cores=3, bar_bytes=1 << 20)
+    assert amap.partition_bytes % 64 == 0
+    assert amap.core_of_offset((1 << 20) - 64) == 2
+
+
+def test_partition_offset_is_relative():
+    amap = AddressMap(cores=2, bar_bytes=1 << 20)
+    offset = amap.bar_offset(amap.partition_base(1)) + 0x240
+    assert amap.partition_offset(1, offset) == 0x240
+    with pytest.raises(AddressError):
+        amap.partition_offset(0, offset)
+
+
+def test_doorbell_addresses():
+    amap = AddressMap(cores=4, bar_bytes=1 << 20)
+    for core in range(4):
+        addr = amap.doorbell_addr(core)
+        assert amap.doorbell_core(addr) == core
+    assert amap.doorbell_core(amap.control_base - 8) is None
+    assert amap.doorbell_core(amap.control_base + 4) is None  # misaligned
+    assert amap.doorbell_core(amap.control_base + 8 * 4) is None  # past end
+
+
+def test_invalid_core_rejected():
+    amap = AddressMap(cores=2, bar_bytes=1 << 20)
+    with pytest.raises(AddressError):
+        amap.partition_base(2)
+    with pytest.raises(AddressError):
+        amap.doorbell_addr(-1)
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigError):
+        AddressMap(cores=0, bar_bytes=1 << 20)
+    with pytest.raises(ConfigError):
+        AddressMap(cores=1024, bar_bytes=1024)  # less than a line per core

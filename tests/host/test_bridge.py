@@ -1,0 +1,127 @@
+"""Unit tests for the host bridge (root complex)."""
+
+import pytest
+
+from repro.config import PcieConfig
+from repro.device.fetcher import DmaReadRequest, DmaWriteRequest
+from repro.errors import ProtocolError
+from repro.host.addressmap import DEVICE_BASE, AddressMap
+from repro.host.bridge import DramTarget, HostBridge
+from repro.interconnect.dram import DramChannel
+from repro.interconnect.packets import Tlp, TlpKind
+from repro.interconnect.pcie import PcieLink
+from repro.memory import FlatMemory
+from repro.sim import Simulator
+from repro.units import ns
+
+
+def build(sim):
+    link = PcieLink(sim, PcieConfig(propagation_ns=50.0))
+    dram = DramChannel(sim, ns(60), 25.6e9)
+    amap = AddressMap(cores=1, bar_bytes=1 << 20)
+    bridge = HostBridge(sim, link, dram, amap)
+    return link, dram, amap, bridge
+
+
+def test_mmio_read_matched_by_tag():
+    sim = Simulator()
+    link, _dram, _amap, bridge = build(sim)
+    served = []
+
+    def device(tlp):
+        served.append(tlp.tag)
+        link.upstream.send(
+            Tlp(TlpKind.COMPLETION, tlp.address, 64, tag=tlp.tag, data=b"\x07" * 64)
+        )
+
+    link.downstream.set_receiver(device)
+    done = bridge.mmio_read_line(DEVICE_BASE)
+    data = sim.run(done)
+    assert data == b"\x07" * 64
+    assert bridge.mmio_reads == 1
+    assert served
+
+
+def test_mmio_read_outside_bar_rejected():
+    sim = Simulator()
+    _link, _dram, _amap, bridge = build(sim)
+    with pytest.raises(Exception):
+        bridge.mmio_read_line(0x1000)
+
+
+def test_unknown_completion_tag_raises():
+    sim = Simulator()
+    link, _dram, _amap, bridge = build(sim)
+    link.downstream.set_receiver(lambda tlp: None)
+    link.upstream.send(Tlp(TlpKind.COMPLETION, 0, 64, tag=999999))
+    with pytest.raises(ProtocolError):
+        sim.run()
+
+
+def test_dma_read_returns_memory_at_read_time():
+    """The descriptor snapshot is taken when host DRAM is read, not
+    when the request was sent."""
+    sim = Simulator()
+    link, _dram, _amap, bridge = build(sim)
+    state = {"value": "early"}
+    replies = []
+    link.downstream.set_receiver(lambda tlp: replies.append(tlp))
+
+    context = DmaReadRequest(reply_bytes=64, read_fn=lambda: state["value"])
+    link.upstream.send(
+        Tlp(TlpKind.MEM_READ, 0x2000, 0, requester="fetcher0", context=context)
+    )
+    state["value"] = "late"  # changed before the DRAM read completes
+    sim.run()
+    assert len(replies) == 1
+    assert replies[0].data == "late"
+    assert replies[0].requester == "fetcher0"
+    assert bridge.dma_reads == 1
+
+
+def test_dma_read_without_context_raises():
+    sim = Simulator()
+    link, _dram, _amap, _bridge = build(sim)
+    link.downstream.set_receiver(lambda tlp: None)
+    link.upstream.send(Tlp(TlpKind.MEM_READ, 0x2000, 0))
+    with pytest.raises(ProtocolError):
+        sim.run()
+
+
+def test_dma_write_commit_runs_after_dram_write():
+    sim = Simulator()
+    link, _dram, _amap, bridge = build(sim)
+    commits = []
+    link.upstream.send(
+        Tlp(
+            TlpKind.MEM_WRITE,
+            0x3000,
+            64,
+            context=DmaWriteRequest(lambda: commits.append(sim.now)),
+        )
+    )
+    sim.run()
+    assert len(commits) == 1
+    # Wire time + propagation + DRAM write latency all elapsed.
+    assert commits[0] > ns(60)
+    assert bridge.dma_writes == 1
+
+
+def test_posted_mmio_write_forwards_downstream():
+    sim = Simulator()
+    link, _dram, amap, bridge = build(sim)
+    seen = []
+    link.downstream.set_receiver(lambda tlp: seen.append((tlp.kind, tlp.address)))
+    bridge.post_mmio_write(amap.doorbell_addr(0), 8)
+    sim.run()
+    assert seen == [(TlpKind.MEM_WRITE, amap.doorbell_addr(0))]
+
+
+def test_dram_target_returns_functional_data():
+    sim = Simulator()
+    world = FlatMemory()
+    world.write_word(0x500 * 64, 42)
+    dram = DramChannel(sim, ns(60), 25.6e9)
+    target = DramTarget(dram, world)
+    data = sim.run(target.read_line(0x500 * 64))
+    assert FlatMemory.word_from_line(0x500 * 64, data, 0x500 * 64) == 42

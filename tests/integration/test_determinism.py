@@ -1,0 +1,68 @@
+"""Determinism: identical configurations produce identical histories.
+
+The replay methodology (record one run, replay it in another) only
+works because the simulator is bit-for-bit deterministic; these tests
+pin that property for every mechanism and workload family.
+"""
+
+from repro.config import AccessMechanism, DeviceConfig, SystemConfig
+from repro.host.system import System
+from repro.units import us
+from repro.workloads.bloom import BloomParams, install_bloom
+from repro.workloads.microbench import MicrobenchSpec, install_microbench
+
+
+def run_fingerprint(mechanism, threads=6):
+    config = SystemConfig(
+        mechanism=mechanism,
+        threads_per_core=threads,
+        device=DeviceConfig(total_latency_us=1.0),
+    )
+    system = System(config)
+    install_microbench(system, MicrobenchSpec(work_count=150), threads)
+    stats = system.run_window(us(15), us(40))
+    report = system.report()
+    return (
+        stats.work_instructions,
+        stats.accesses,
+        system.sim.now,
+        report["pcie_up_wire_bytes"],
+        report["context_switches"],
+    )
+
+
+def test_microbench_runs_are_bit_identical():
+    for mechanism in AccessMechanism:
+        assert run_fingerprint(mechanism) == run_fingerprint(mechanism), mechanism
+
+
+def test_application_runs_are_bit_identical():
+    def run():
+        config = SystemConfig(
+            mechanism=AccessMechanism.SOFTWARE_QUEUE, threads_per_core=4
+        )
+        system = System(config)
+        install_bloom(system, BloomParams(queries_per_thread=12), 4)
+        ticks = system.run_to_completion(limit_ticks=10**12)
+        return ticks, system.device.requests_served
+
+    assert run() == run()
+
+
+def test_recorded_traces_are_identical_across_runs():
+    def record():
+        config = SystemConfig(
+            mechanism=AccessMechanism.PREFETCH, threads_per_core=3
+        )
+        system = System(config)
+        install_microbench(
+            system, MicrobenchSpec(work_count=120, iterations=20), 3
+        )
+        system.device.start_recording()
+        system.run_to_completion(limit_ticks=10**11)
+        return system.device.stop_recording()
+
+    first, second = record(), record()
+    assert {core: list(trace) for core, trace in first.items()} == {
+        core: list(trace) for core, trace in second.items()
+    }

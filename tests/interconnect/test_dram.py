@@ -1,0 +1,60 @@
+"""Unit tests for the DRAM channel model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.interconnect import DramChannel
+from repro.sim import Simulator
+from repro.units import ns
+
+
+def test_single_access_latency():
+    sim = Simulator()
+    dram = DramChannel(sim, latency_ticks=ns(60), bandwidth_bytes_per_s=64e9)
+    done = dram.access(64, value="line")
+    assert sim.run(done) == "line"
+    # 64 bytes at 64 GB/s = 1 ns bus + 60 ns latency.
+    assert sim.now == ns(61)
+
+
+def test_accesses_pipeline_behind_the_bus():
+    sim = Simulator()
+    dram = DramChannel(sim, latency_ticks=ns(60), bandwidth_bytes_per_s=6.4e9)
+    times = []
+
+    def reader(tag):
+        yield dram.access(64, value=tag)
+        times.append((tag, sim.now))
+
+    for tag in ("a", "b"):
+        sim.process(reader(tag))
+    sim.run()
+    # Bus slots: [0,10) and [10,20); each completes 60 ns after its slot.
+    assert times == [("a", ns(70)), ("b", ns(80))]
+
+
+def test_throughput_bounded_by_bandwidth():
+    sim = Simulator()
+    dram = DramChannel(sim, latency_ticks=ns(50), bandwidth_bytes_per_s=1e9)
+    for _ in range(10):
+        dram.access(100)
+    sim.run()
+    # 1000 bytes at 1 GB/s = 1000 ns of bus + 50 ns trailing latency.
+    assert sim.now == ns(1050)
+    assert dram.bytes_transferred == 1000
+    assert dram.accesses == 10
+
+
+def test_zero_byte_access_rejected():
+    sim = Simulator()
+    dram = DramChannel(sim, latency_ticks=0, bandwidth_bytes_per_s=1e9)
+    with pytest.raises(ConfigError):
+        dram.access(0)
+
+
+def test_invalid_construction_rejected():
+    sim = Simulator()
+    with pytest.raises(ConfigError):
+        DramChannel(sim, latency_ticks=-1, bandwidth_bytes_per_s=1e9)
+    with pytest.raises(ConfigError):
+        DramChannel(sim, latency_ticks=0, bandwidth_bytes_per_s=0)

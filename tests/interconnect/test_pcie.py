@@ -1,0 +1,128 @@
+"""Unit tests for the PCIe link model."""
+
+import pytest
+
+from repro.config import PcieConfig
+from repro.errors import ProtocolError
+from repro.interconnect import PcieLink, Tlp, TlpKind
+from repro.sim import Simulator
+from repro.units import ns
+
+
+def make_link(sim, **overrides):
+    config = PcieConfig(**overrides)
+    return PcieLink(sim, config)
+
+
+def test_read_request_carries_no_payload():
+    with pytest.raises(ValueError):
+        Tlp(TlpKind.MEM_READ, address=0, payload_bytes=64)
+
+
+def test_wire_bytes_includes_header():
+    tlp = Tlp(TlpKind.COMPLETION, address=0, payload_bytes=64)
+    assert tlp.wire_bytes(24) == 88
+
+
+def test_single_packet_delivery_time():
+    sim = Simulator()
+    link = make_link(sim, bandwidth_bytes_per_s=4e9, propagation_ns=100.0)
+    arrivals = []
+    link.downstream.set_receiver(lambda tlp: arrivals.append((sim.now, tlp.tag)))
+    tlp = Tlp(TlpKind.MEM_READ, address=0x100, payload_bytes=0, tag=7)
+    link.downstream.send(tlp)
+    sim.run()
+    # 24 header bytes at 4 GB/s = 6 ns serialization, + 100 ns propagation.
+    assert arrivals == [(ns(106), 7)]
+
+
+def test_packets_serialize_fifo_at_bandwidth():
+    sim = Simulator()
+    link = make_link(sim, bandwidth_bytes_per_s=1e9, propagation_ns=0.0)
+    arrivals = []
+    link.upstream.set_receiver(lambda tlp: arrivals.append((sim.now, tlp.tag)))
+    for tag in (1, 2):
+        link.upstream.send(
+            Tlp(TlpKind.MEM_WRITE, address=0, payload_bytes=76, tag=tag)
+        )
+    sim.run()
+    # Each packet is 100 bytes at 1 GB/s = 100 ns of wire time.
+    assert arrivals == [(ns(100), 1), (ns(200), 2)]
+
+
+def test_directions_are_independent():
+    sim = Simulator()
+    link = make_link(sim, bandwidth_bytes_per_s=1e9, propagation_ns=0.0)
+    down, up = [], []
+    link.downstream.set_receiver(lambda tlp: down.append(sim.now))
+    link.upstream.set_receiver(lambda tlp: up.append(sim.now))
+    link.downstream.send(Tlp(TlpKind.MEM_WRITE, address=0, payload_bytes=76))
+    link.upstream.send(Tlp(TlpKind.MEM_WRITE, address=0, payload_bytes=76))
+    sim.run()
+    # Full duplex: both finish at 100 ns, not 200.
+    assert down == [ns(100)] and up == [ns(100)]
+
+
+def test_byte_accounting_separates_payload_from_headers():
+    sim = Simulator()
+    link = make_link(sim, propagation_ns=0.0)
+    link.upstream.set_receiver(lambda tlp: None)
+    link.upstream.send(Tlp(TlpKind.COMPLETION, address=0, payload_bytes=64))
+    link.upstream.send(Tlp(TlpKind.MEM_READ, address=0, payload_bytes=0))
+    sim.run()
+    assert link.upstream.payload_bytes == 64
+    assert link.upstream.wire_bytes == 64 + 2 * 24
+    assert link.upstream.packets == 2
+    assert link.upstream.packets_by_kind == {"CplD": 1, "MRd": 1}
+    assert link.upstream.useful_fraction() == pytest.approx(64 / 112)
+
+
+def test_round_trip_matches_paper_ballpark():
+    sim = Simulator()
+    link = make_link(sim)  # defaults: 4 GB/s, 24 B header, 385 ns propagation
+    rtt = link.round_trip_ticks(response_payload_bytes=64)
+    # The paper reports ~800 ns PCIe round trip on its platform.
+    assert ns(750) < rtt < ns(850)
+
+
+def test_send_without_receiver_raises_inside_pump():
+    sim = Simulator()
+    link = make_link(sim)
+    link.downstream.send(Tlp(TlpKind.MEM_READ, address=0, payload_bytes=0))
+    with pytest.raises(ProtocolError):
+        sim.run()
+
+
+def test_double_receiver_attachment_rejected():
+    sim = Simulator()
+    link = make_link(sim)
+    link.downstream.set_receiver(lambda tlp: None)
+    with pytest.raises(ProtocolError):
+        link.downstream.set_receiver(lambda tlp: None)
+
+
+def test_utilization_tracks_busy_time():
+    sim = Simulator()
+    link = make_link(sim, bandwidth_bytes_per_s=1e9, propagation_ns=0.0)
+    link.downstream.set_receiver(lambda tlp: None)
+    link.downstream.send(Tlp(TlpKind.MEM_WRITE, address=0, payload_bytes=976))
+    sim.run()
+    sim.run(until=ns(2000))
+    # 1000 bytes at 1 GB/s = 1000 ns busy of 2000 ns total.
+    assert link.downstream.utilization.mean(sim.now) == pytest.approx(0.5)
+
+
+def test_saturated_direction_throughput_equals_bandwidth():
+    sim = Simulator()
+    link = make_link(sim, bandwidth_bytes_per_s=4e9, propagation_ns=10.0)
+    count = []
+    link.upstream.set_receiver(lambda tlp: count.append(tlp.tag))
+    n = 100
+    for i in range(n):
+        link.upstream.send(Tlp(TlpKind.MEM_WRITE, address=0, payload_bytes=64, tag=i))
+    sim.run()
+    wire = n * (64 + 24)
+    # Last delivery = serialization of all packets + one propagation.
+    expected = round(wire / 4e9 * 1e12) + ns(10)
+    assert sim.now == pytest.approx(expected, rel=0.01)
+    assert count == list(range(n))

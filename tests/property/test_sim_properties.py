@@ -1,0 +1,110 @@
+"""Property-based tests of the simulation kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                       max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+
+    def watcher(delay):
+        yield sim.timeout(delay)
+        fired.append(sim.now)
+
+    for delay in delays:
+        sim.process(watcher(delay))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    holds=st.lists(st.integers(min_value=1, max_value=1000), min_size=1,
+                   max_size=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_never_exceeds_capacity_and_serves_everyone(capacity, holds):
+    sim = Simulator()
+    resource = Resource(sim, capacity)
+    served = []
+
+    def user(index, hold):
+        yield resource.acquire()
+        assert resource.in_use <= capacity
+        yield sim.timeout(hold)
+        resource.release()
+        served.append(index)
+
+    for index, hold in enumerate(holds):
+        sim.process(user(index, hold))
+    sim.run()
+    assert sorted(served) == list(range(len(holds)))
+    assert resource.max_in_use <= capacity
+    assert resource.in_use == 0
+
+
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=60),
+    capacity=st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+)
+@settings(max_examples=60, deadline=None)
+def test_store_preserves_fifo_order(items, capacity):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == items
+
+
+@given(
+    groups=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=8),    # slots
+            st.integers(min_value=0, max_value=500),  # completion delay
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_rob_retires_everything_in_order(groups):
+    from repro.cpu.rob import ReorderBuffer
+
+    sim = Simulator()
+    rob = ReorderBuffer(sim, capacity=8)
+    retired = []
+
+    def frontend():
+        for index, (slots, delay) in enumerate(groups):
+            yield from rob.allocate(slots)
+            rob.commit(
+                slots,
+                sim.timeout(delay),
+                on_retire=lambda i=index: retired.append(i),
+            )
+
+    sim.process(frontend())
+    sim.run()
+    assert retired == list(range(len(groups)))
+    assert rob.free == rob.capacity
+    assert rob.max_used <= rob.capacity

@@ -1,0 +1,248 @@
+"""Unit tests for the core runtime (scheduler loop)."""
+
+import pytest
+
+from repro.config import CacheConfig, CpuConfig, UncoreConfig
+from repro.cpu import AddressSpace, CoreMemorySystem, OutOfOrderCore, Uncore
+from repro.errors import SimulationError
+from repro.runtime.driver import CoreRuntime, SchedulerCosts
+from repro.runtime.queuepair import Completion, QueuePair
+from repro.runtime.uthread import BlockOnCompletions, ThreadState, YIELD_CONTROL
+from repro.sim import Simulator
+from repro.sim.trace import Counter
+from repro.testing import FixedLatencyTarget
+from repro.units import ns
+
+
+def build_core(sim):
+    config = CpuConfig(frequency_ghz=1.0)
+    uncore = Uncore(sim, UncoreConfig())
+    uncore.attach_target(AddressSpace.DEVICE, FixedLatencyTarget(sim, ns(500)))
+    uncore.attach_target(AddressSpace.DRAM, FixedLatencyTarget(sim, ns(80)))
+    memsys = CoreMemorySystem(sim, 0, CacheConfig(), 10, uncore, config.frequency)
+    return OutOfOrderCore(sim, 0, config, memsys, Counter("work"))
+
+
+def make_runtime(sim, switch_ns=35, queue_pair=None, **cost_overrides):
+    core = build_core(sim)
+    costs = SchedulerCosts(switch_ticks=ns(switch_ns), **cost_overrides)
+    return CoreRuntime(sim, core, costs, queue_pair=queue_pair)
+
+
+def test_threads_round_robin_on_yield():
+    sim = Simulator()
+    runtime = make_runtime(sim)
+    order = []
+
+    def thread(tag):
+        for _ in range(2):
+            order.append(tag)
+            yield YIELD_CONTROL
+
+    runtime.add_thread(thread("a"))
+    runtime.add_thread(thread("b"))
+    sim.run(runtime.start())
+    assert order == ["a", "b", "a", "b"]
+
+
+def test_context_switch_cost_charged():
+    sim = Simulator()
+    runtime = make_runtime(sim, switch_ns=35)
+
+    def thread():
+        yield YIELD_CONTROL
+        yield YIELD_CONTROL
+
+    runtime.add_thread(thread())
+    sim.run(runtime.start())
+    # Two yields -> two switch charges (single thread switches to itself).
+    assert sim.now >= ns(70)
+    assert runtime.context_switches == 2
+
+
+def test_runtime_process_completes_when_threads_finish():
+    sim = Simulator()
+    runtime = make_runtime(sim)
+
+    def thread():
+        yield YIELD_CONTROL
+        return "done"
+
+    handle = runtime.add_thread(thread())
+    sim.run(runtime.start())
+    assert handle.state is ThreadState.FINISHED
+    assert handle.result == "done"
+    assert runtime.finished == 1
+
+
+def test_thread_waiting_on_event_stalls_core():
+    sim = Simulator()
+    runtime = make_runtime(sim)
+    stamps = []
+
+    def thread():
+        yield sim.timeout(ns(777))
+        stamps.append(sim.now)
+
+    runtime.add_thread(thread())
+    sim.run(runtime.start())
+    assert stamps == [ns(777)]
+
+
+def test_block_on_completions_wakes_with_payload():
+    sim = Simulator()
+    qp = QueuePair(core_id=0, entries=8)
+    runtime = make_runtime(
+        sim, queue_pair=qp, poll_ticks=ns(20), completion_ticks=ns(10)
+    )
+    received = []
+
+    def thread():
+        completions = yield BlockOnCompletions(2)
+        received.append([c.device_addr for c in completions])
+
+    runtime.add_thread(thread())
+
+    def device():
+        yield sim.timeout(ns(300))
+        qp.device_post_completion(
+            Completion(thread_id=0, device_addr=0, response_addr=0, data=b"")
+        )
+        yield sim.timeout(ns(200))
+        qp.device_post_completion(
+            Completion(thread_id=0, device_addr=64, response_addr=0, data=b"")
+        )
+
+    sim.process(device())
+    sim.run(runtime.start())
+    assert received == [[0, 64]]
+    assert sim.now >= ns(500)
+
+
+def test_early_completions_buffered_until_block():
+    """Completions that land before the thread blocks are not lost."""
+    sim = Simulator()
+    qp = QueuePair(core_id=0, entries=8)
+    runtime = make_runtime(sim, queue_pair=qp, poll_ticks=ns(20))
+    received = []
+
+    def blocked_thread():
+        completions = yield BlockOnCompletions(1)
+        received.append(completions[0].device_addr)
+        # Completion for the NEXT access arrives while we are still
+        # running; the later block must consume it immediately.
+        qp.device_post_completion(
+            Completion(thread_id=0, device_addr=128, response_addr=0, data=b"")
+        )
+
+    def spinner():
+        # Keeps the ready queue non-empty so delivery relies on the
+        # opportunistic poll path.
+        for _ in range(200):
+            yield YIELD_CONTROL
+
+    runtime.add_thread(blocked_thread())
+    runtime.add_thread(spinner())
+    qp.device_post_completion(
+        Completion(thread_id=0, device_addr=64, response_addr=0, data=b"")
+    )
+    sim.run(runtime.start())
+    assert received == [64]
+
+
+def test_fifo_scheduler_polls_only_when_idle():
+    sim = Simulator()
+    qp = QueuePair(core_id=0, entries=8)
+    runtime = make_runtime(sim, queue_pair=qp, poll_ticks=ns(25))
+
+    def worker():
+        completions = yield BlockOnCompletions(1)
+        return completions[0].device_addr
+
+    runtime.add_thread(worker())
+
+    def device():
+        yield sim.timeout(ns(1000))
+        qp.device_post_completion(
+            Completion(thread_id=0, device_addr=0, response_addr=0, data=b"")
+        )
+
+    sim.process(device())
+    sim.run(runtime.start())
+    # The scheduler busy-polled for ~1 us at 25 ns per empty poll.
+    assert runtime.empty_polls >= 30
+
+
+def test_blocked_threads_without_queue_pair_is_an_error():
+    sim = Simulator()
+    runtime = make_runtime(sim)  # no queue pair
+
+    def thread():
+        yield BlockOnCompletions(1)
+
+    runtime.add_thread(thread())
+    with pytest.raises(SimulationError):
+        sim.run(runtime.start())
+
+
+def test_unsupported_yield_rejected():
+    sim = Simulator()
+    runtime = make_runtime(sim)
+
+    def thread():
+        yield "garbage"
+
+    runtime.add_thread(thread())
+    with pytest.raises(SimulationError):
+        sim.run(runtime.start())
+
+
+def test_add_thread_after_start_rejected():
+    sim = Simulator()
+    runtime = make_runtime(sim)
+    runtime.add_thread(iter(()))
+    runtime.start()
+    with pytest.raises(SimulationError):
+        runtime.add_thread(iter(()))
+
+
+def test_double_start_rejected():
+    sim = Simulator()
+    runtime = make_runtime(sim)
+    runtime.add_thread(iter(()))
+    runtime.start()
+    with pytest.raises(SimulationError):
+        runtime.start()
+
+
+def test_spinners_do_not_starve_blocked_threads():
+    """Opportunistic polling: a barrier-style spinner must not prevent
+    completion delivery (the BFS livelock regression test)."""
+    sim = Simulator()
+    qp = QueuePair(core_id=0, entries=8)
+    runtime = make_runtime(
+        sim, queue_pair=qp, poll_ticks=ns(20), completion_ticks=ns(10)
+    )
+    state = {"woken": False}
+
+    def blocked():
+        yield BlockOnCompletions(1)
+        state["woken"] = True
+
+    def spinner():
+        while not state["woken"]:
+            yield YIELD_CONTROL
+
+    runtime.add_thread(blocked())
+    runtime.add_thread(spinner())
+
+    def device():
+        yield sim.timeout(ns(400))
+        qp.device_post_completion(
+            Completion(thread_id=0, device_addr=0, response_addr=0, data=b"")
+        )
+
+    sim.process(device())
+    sim.run(runtime.start())
+    assert state["woken"]
+    assert runtime.opportunistic_polls >= 1

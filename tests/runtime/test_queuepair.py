@@ -1,0 +1,94 @@
+"""Unit tests for the descriptor queue pair."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.runtime.queuepair import Completion, Descriptor, QueuePair
+
+
+def desc(i, core=0, thread=0):
+    return Descriptor(
+        core_id=core, thread_id=thread, device_addr=i * 64, response_addr=0x1000
+    )
+
+
+def comp(i, thread=0):
+    return Completion(
+        thread_id=thread, device_addr=i * 64, response_addr=0x1000, data=b"\x00" * 64
+    )
+
+
+def test_enqueue_then_fetch_fifo():
+    qp = QueuePair(core_id=0, entries=8)
+    for i in range(3):
+        qp.enqueue(desc(i))
+    batch = qp.device_fetch(8)
+    assert [d.device_addr for d in batch] == [0, 64, 128]
+    assert qp.requests_pending == 0
+
+
+def test_fetch_respects_burst_limit():
+    qp = QueuePair(core_id=0, entries=16)
+    for i in range(10):
+        qp.enqueue(desc(i))
+    assert len(qp.device_fetch(8)) == 8
+    assert len(qp.device_fetch(8)) == 2
+    assert qp.device_fetch(8) == []
+
+
+def test_ring_overflow_raises():
+    qp = QueuePair(core_id=0, entries=2)
+    qp.enqueue(desc(0))
+    qp.enqueue(desc(1))
+    with pytest.raises(ProtocolError):
+        qp.enqueue(desc(2))
+
+
+def test_doorbell_flag_protocol():
+    qp = QueuePair(core_id=0, entries=8)
+    assert qp.doorbell_needed  # fetcher starts idle
+    qp.note_doorbell()
+    assert not qp.doorbell_needed
+    assert qp.doorbells_rung == 1
+    qp.device_set_doorbell_flag()
+    assert qp.doorbell_needed
+
+
+def test_completions_fifo():
+    qp = QueuePair(core_id=0, entries=8)
+    qp.device_post_completion(comp(0))
+    qp.device_post_completion(comp(1))
+    assert qp.completions_visible == 2
+    assert qp.pop_completion().device_addr == 0
+    assert qp.pop_completion().device_addr == 64
+    assert qp.pop_completion() is None
+
+
+def test_completion_ring_overflow_raises():
+    qp = QueuePair(core_id=0, entries=2)
+    qp.device_post_completion(comp(0))
+    qp.device_post_completion(comp(1))
+    with pytest.raises(ProtocolError):
+        qp.device_post_completion(comp(2))
+
+
+def test_statistics():
+    qp = QueuePair(core_id=0, entries=8)
+    for i in range(5):
+        qp.enqueue(desc(i))
+    assert qp.descriptors_enqueued == 5
+    assert qp.max_request_depth == 5
+    qp.device_fetch(8)
+    qp.device_post_completion(comp(0))
+    assert qp.completions_posted == 1
+
+
+def test_invalid_fetch_count():
+    qp = QueuePair(core_id=0, entries=8)
+    with pytest.raises(ProtocolError):
+        qp.device_fetch(0)
+
+
+def test_tiny_ring_rejected():
+    with pytest.raises(ProtocolError):
+        QueuePair(core_id=0, entries=1)

@@ -1,0 +1,104 @@
+"""Unit tests for the instrumentation probes."""
+
+import pytest
+
+from repro.sim.trace import (
+    Counter,
+    LatencyStat,
+    ProbeSet,
+    TimeWeighted,
+    percentile_of_sorted,
+)
+
+
+def test_counter_windowing():
+    counter = Counter("c")
+    counter.add(5)
+    counter.active = True
+    counter.add(3)
+    counter.add(2)
+    counter.active = False
+    counter.add(7)
+    assert counter.total == 17
+    assert counter.windowed == 5
+    counter.reset_window()
+    assert counter.windowed == 0
+
+
+def test_time_weighted_mean_and_max():
+    stat = TimeWeighted("util")
+    stat.update(0, 1.0)
+    stat.update(100, 0.0)
+    assert stat.mean(200) == pytest.approx(0.5)
+    assert stat.maximum == 1.0
+
+
+def test_time_weighted_rejects_backwards_time():
+    stat = TimeWeighted("util")
+    stat.update(100, 1.0)
+    with pytest.raises(ValueError):
+        stat.update(50, 0.0)
+
+
+def test_latency_stat_basic_moments():
+    stat = LatencyStat("lat")
+    for value in (10, 20, 30, 40):
+        stat.record(value)
+    assert stat.count == 4
+    assert stat.minimum == 10
+    assert stat.maximum == 40
+    assert stat.mean == 25
+    assert stat.percentile(0) == 10
+    assert stat.percentile(100) == 40
+    assert stat.percentile(50) == pytest.approx(25)
+
+
+def test_latency_stat_empty():
+    import math
+
+    stat = LatencyStat("lat")
+    assert math.isnan(stat.mean)
+    assert math.isnan(stat.percentile(50))
+
+
+def test_latency_stat_subsamples_beyond_cap():
+    stat = LatencyStat("lat")
+    n = LatencyStat.MAX_SAMPLES * 2 + 100
+    for value in range(n):
+        stat.record(value)
+    assert stat.count == n
+    assert len(stat._samples) <= LatencyStat.MAX_SAMPLES + 1
+    # Percentiles stay approximately right after subsampling.
+    assert stat.percentile(50) == pytest.approx(n / 2, rel=0.02)
+    assert stat.minimum == 0 and stat.maximum == n - 1
+
+
+def test_probe_set_dedupes_by_name():
+    probes = ProbeSet()
+    assert probes.counter("a") is probes.counter("a")
+    assert probes.latency("l") is probes.latency("l")
+    assert probes.time_weighted("w") is probes.time_weighted("w")
+
+
+def test_probe_set_window_toggle():
+    probes = ProbeSet()
+    first = probes.counter("x")
+    second = probes.counter("y")
+    probes.set_window_active(True)
+    first.add(1)
+    second.add(2)
+    probes.set_window_active(False)
+    first.add(1)
+    assert first.windowed == 1 and second.windowed == 2
+    probes.reset_windows()
+    assert first.windowed == 0
+
+
+def test_percentile_of_sorted_reference():
+    import math
+
+    assert math.isnan(percentile_of_sorted([], 50))
+    assert percentile_of_sorted([5], 50) == 5
+    assert percentile_of_sorted([1, 2, 3, 4], 50) == pytest.approx(2.5)
+    assert percentile_of_sorted([1, 2, 3, 4], 0) == 1
+    assert percentile_of_sorted([1, 2, 3, 4], 100) == 4

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_list_command():
+    code, text = run_cli("list")
+    assert code == 0
+    assert "fig3" in text and "memcached" in text
+
+
+def test_run_command_prefetch():
+    code, text = run_cli(
+        "run", "--mechanism", "prefetch", "--threads", "10",
+        "--warmup-us", "15", "--measure-us", "40",
+    )
+    assert code == 0
+    assert "normalized" in text
+    assert "LFB peak      : 10 / 10" in text
+
+
+def test_run_command_with_overrides():
+    code, text = run_cli(
+        "run", "--mechanism", "prefetch", "--threads", "24", "--lfb", "20",
+        "--chip-queue", "80", "--warmup-us", "15", "--measure-us", "40",
+    )
+    assert code == 0
+    assert "/ 20" in text
+
+
+def test_run_command_memory_bus():
+    code, text = run_cli(
+        "run", "--attachment", "memory-bus", "--threads", "10",
+        "--warmup-us", "15", "--measure-us", "40",
+    )
+    assert code == 0
+    assert "PCIe upstream : 0.00 GB/s" in text
+
+
+def test_run_command_mlp_and_writes():
+    code, text = run_cli(
+        "run", "--mlp", "2", "--writes", "1",
+        "--warmup-us", "15", "--measure-us", "40",
+    )
+    assert code == 0
+    assert "MLP 2, 1 writes/iter" in text
+
+
+def test_app_command():
+    code, text = run_cli(
+        "app", "bloom", "--mechanism", "prefetch", "--threads", "4"
+    )
+    assert code == 0
+    assert "normalized" in text and "ns / operation" in text
+
+
+def test_figure_command_with_csv(tmp_path):
+    csv_path = tmp_path / "fig.csv"
+    code, text = run_cli("figure", "fig3", "--scale", "quick",
+                         "--csv", str(csv_path))
+    assert code == 0
+    assert "fig3" in text
+    assert csv_path.exists()
+    assert csv_path.read_text().startswith("figure,series,x,y")
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig99"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_figure_command_with_chart():
+    code, text = run_cli("figure", "fig3", "--scale", "quick", "--chart")
+    assert code == 0
+    assert "o = 1us" in text
+
+
+def test_table1_command():
+    code, text = run_cli("table1")
+    assert code == 0
+    assert "Overlapping" in text and "User-mode context switch" in text

@@ -1,0 +1,32 @@
+"""Unit tests for the Table I taxonomy module."""
+
+import pytest
+
+from repro.taxonomy import TABLE_I, render_table_i, resolve
+
+
+def test_render_groups_by_paradigm():
+    text = render_table_i()
+    # Paradigm labels print once per group.
+    assert text.count("Caching") == 1
+    assert text.count("Overlapping") == 1
+    assert "prefetch" in text.lower()
+
+
+def test_every_entry_is_well_formed():
+    for entry in TABLE_I:
+        assert entry.layer in ("HW", "SW")
+        assert entry.mechanism
+        if entry.implemented_by is None:
+            assert entry.note
+
+
+def test_resolve_returns_live_objects():
+    from repro.cpu.cache import L1Cache
+
+    assert resolve("repro.cpu.cache.L1Cache") is L1Cache
+
+
+def test_resolve_unknown_path_raises():
+    with pytest.raises((ImportError, AttributeError)):
+        resolve("repro.cpu.cache.NoSuchThing")

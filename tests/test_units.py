@@ -1,0 +1,67 @@
+"""Unit tests for time/frequency unit helpers."""
+
+import pytest
+
+from repro.units import (
+    Frequency,
+    NS,
+    US,
+    gigahertz,
+    ms,
+    ns,
+    ps,
+    seconds,
+    to_ns,
+    to_seconds,
+    to_us,
+    transfer_ticks,
+    us,
+)
+
+
+def test_conversions_are_integers():
+    assert ns(1) == NS
+    assert us(1) == US
+    assert ns(1.5) == 1500
+    assert ms(2) == 2 * 10**9
+    assert seconds(1e-6) == US
+    assert ps(1.4) == 1
+
+
+def test_roundtrips():
+    assert to_ns(ns(123.0)) == 123.0
+    assert to_us(us(7.0)) == 7.0
+    assert to_seconds(seconds(2)) == 2.0
+
+
+def test_frequency_period_rounding():
+    clock = gigahertz(2.3)
+    # 434.78 ps rounds to 435 ps.
+    assert clock.period_ps == 435
+    assert gigahertz(1.0).period_ps == 1000
+
+
+def test_cycles_conversion():
+    clock = gigahertz(1.0)
+    assert clock.cycles(10) == ns(10)
+    assert clock.cycles(2.5) == 2500
+    assert clock.to_cycles(ns(10)) == 10.0
+
+
+def test_frequency_validation():
+    with pytest.raises(ValueError):
+        Frequency(0)
+    with pytest.raises(ValueError):
+        Frequency(-1)
+
+
+def test_transfer_ticks():
+    # 4 GB/s: one byte takes 0.25 ns = 250 ps.
+    assert transfer_ticks(4, 4e9) == 1000
+    assert transfer_ticks(0, 4e9) == 0
+    # Non-empty transfers always take at least one tick.
+    assert transfer_ticks(1, 1e15) == 1
+
+
+def test_extreme_frequency_period_floor():
+    assert Frequency(1e13).period_ps == 1

@@ -1,0 +1,102 @@
+"""Unit tests for the Bloom filter workload."""
+
+import pytest
+
+from repro.config import AccessMechanism, BackingStore, SystemConfig
+from repro.errors import ConfigError
+from repro.host.system import System
+from repro.memory import FlatMemory
+from repro.workloads.bloom import (
+    BloomFilter,
+    BloomParams,
+    install_bloom,
+    make_query_keys,
+)
+
+SMALL = BloomParams(items=512, queries_per_thread=16)
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        BloomParams(items=0)
+    with pytest.raises(ConfigError):
+        BloomParams(hash_count=9)
+    with pytest.raises(ConfigError):
+        BloomParams(queries_per_thread=0)
+
+
+def test_bits_rounded_to_words():
+    params = BloomParams(items=100, bits_per_item=10)
+    assert params.bits % 64 == 0
+    assert params.bits >= 1000
+
+
+def test_no_false_negatives():
+    world = FlatMemory()
+    bloom = BloomFilter(SMALL, base_addr=0, world=world)
+    keys = range(0, 200)
+    bloom.populate(keys)
+    assert all(bloom.contains_functional(key) for key in keys)
+
+
+def test_absent_keys_mostly_rejected():
+    world = FlatMemory()
+    params = BloomParams(items=256, bits_per_item=10, queries_per_thread=16)
+    bloom = BloomFilter(params, base_addr=0, world=world)
+    bloom.populate(range(64))
+    false_positives = sum(
+        bloom.contains_functional(key) for key in range(10_000, 10_200)
+    )
+    # ~64 items in a 2560-bit filter: false-positive rate well under 10%.
+    assert false_positives < 20
+
+
+def test_query_keys_alternate_present_absent():
+    keys = make_query_keys(SMALL, thread_seed=3)
+    assert len(keys) == 16
+    assert all(key < SMALL.items for key in keys[0::2])
+    assert all(key >= SMALL.items for key in keys[1::2])
+
+
+def test_timed_lookup_agrees_with_functional_oracle():
+    config = SystemConfig(
+        mechanism=AccessMechanism.ON_DEMAND, backing=BackingStore.DRAM
+    )
+    system = System(config)
+    results = install_bloom(system, SMALL, threads_per_core=2)
+    system.run_to_completion(limit_ticks=10**11)
+    for (core, slot), observed in results.items():
+        keys = make_query_keys(SMALL, thread_seed=core * 1000 + slot)
+        assert len(observed) == len(keys)
+        # Present keys (even positions) must always hit.
+        for position in range(0, len(keys), 2):
+            assert observed[position] is True
+
+
+def test_device_and_baseline_agree():
+    params = BloomParams(items=512, queries_per_thread=12)
+    outcomes = []
+    for backing, mechanism in (
+        (BackingStore.DRAM, AccessMechanism.ON_DEMAND),
+        (BackingStore.DEVICE, AccessMechanism.PREFETCH),
+        (BackingStore.DEVICE, AccessMechanism.SOFTWARE_QUEUE),
+    ):
+        config = SystemConfig(
+            mechanism=mechanism, backing=backing, threads_per_core=2
+        )
+        system = System(config)
+        results = install_bloom(system, params, threads_per_core=2)
+        system.run_to_completion(limit_ticks=10**11)
+        outcomes.append(
+            {key: tuple(value) for key, value in sorted(results.items())}
+        )
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+def test_each_core_gets_its_own_filter():
+    config = SystemConfig(mechanism=AccessMechanism.PREFETCH, cores=2)
+    system = System(config)
+    install_bloom(system, SMALL, threads_per_core=1)
+    # Each core allocated a filter in its own partition.
+    assert system._device_bumps[0] > system.map.partition_base(0)
+    assert system._device_bumps[1] > system.map.partition_base(1)

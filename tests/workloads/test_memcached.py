@@ -1,0 +1,101 @@
+"""Unit tests for the Memcached lookup workload."""
+
+import pytest
+
+from repro.config import AccessMechanism, BackingStore, SystemConfig
+from repro.errors import ConfigError
+from repro.host.system import System
+from repro.memory import FlatMemory
+from repro.workloads.memcached import (
+    KvStore,
+    MemcachedParams,
+    install_memcached,
+    make_get_keys,
+    value_word,
+)
+
+SMALL = MemcachedParams(items=128, buckets=64, gets_per_thread=8)
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        MemcachedParams(items=0)
+    with pytest.raises(ConfigError):
+        MemcachedParams(value_bytes=100)  # not a multiple of 64
+    with pytest.raises(ConfigError):
+        MemcachedParams(gets_per_thread=0)
+
+
+def test_value_lines():
+    assert MemcachedParams(value_bytes=256).value_lines == 4
+
+
+def test_functional_get_returns_stored_value():
+    world = FlatMemory()
+    store = KvStore(SMALL, base_addr=0, world=world)
+    store.populate(range(SMALL.items))
+    for key in (0, 1, 63, 127):
+        value = store.get_functional(key)
+        assert value is not None
+        for index, word in enumerate(value):
+            assert word == value_word(key, index)
+
+
+def test_functional_get_misses_unknown_key():
+    world = FlatMemory()
+    store = KvStore(SMALL, base_addr=0, world=world)
+    store.populate(range(SMALL.items))
+    assert store.get_functional(99999) is None
+
+
+def test_chains_are_built():
+    world = FlatMemory()
+    store = KvStore(SMALL, base_addr=0, world=world)
+    store.populate(range(SMALL.items))
+    # 128 keys into 64 buckets: at least one chain of length >= 2.
+    assert store.max_chain >= 2
+
+
+def test_timed_get_matches_functional_value():
+    config = SystemConfig(
+        mechanism=AccessMechanism.ON_DEMAND, backing=BackingStore.DRAM
+    )
+    system = System(config)
+    results = install_memcached(system, SMALL, threads_per_core=2)
+    system.run_to_completion(limit_ticks=10**11)
+    for (core, slot), values in results.items():
+        keys = make_get_keys(SMALL, thread_seed=core * 1000 + slot)
+        assert len(values) == len(keys)
+        for key, value in zip(keys, values):
+            assert value is not None
+            # The timed GET returns the first word of each value line.
+            for line, word in enumerate(value):
+                assert word == value_word(key, line * 8)
+
+
+def test_all_mechanisms_return_identical_values():
+    outcomes = []
+    for backing, mechanism in (
+        (BackingStore.DRAM, AccessMechanism.ON_DEMAND),
+        (BackingStore.DEVICE, AccessMechanism.PREFETCH),
+        (BackingStore.DEVICE, AccessMechanism.SOFTWARE_QUEUE),
+    ):
+        config = SystemConfig(
+            mechanism=mechanism, backing=backing, threads_per_core=2
+        )
+        system = System(config)
+        results = install_memcached(system, SMALL, threads_per_core=2)
+        system.run_to_completion(limit_ticks=10**11)
+        outcomes.append(
+            {
+                key: tuple(tuple(v) for v in values)
+                for key, values in sorted(results.items())
+            }
+        )
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+def test_store_size_accounts_all_regions():
+    size = KvStore.size_bytes(SMALL)
+    expected = 64 * 8 + 128 * 64 + 128 * 256
+    assert size == expected

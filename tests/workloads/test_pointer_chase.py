@@ -1,0 +1,94 @@
+"""Tests for the pointer-chase workload."""
+
+import pytest
+
+from repro.config import AccessMechanism, BackingStore, DeviceConfig, SystemConfig
+from repro.errors import ConfigError
+from repro.host.system import System
+from repro.memory import FlatMemory
+from repro.units import to_us
+from repro.workloads.pointer_chase import (
+    PointerChain,
+    PointerChaseParams,
+    install_pointer_chase,
+)
+
+SMALL = PointerChaseParams(nodes=64, hops_per_thread=32, work_count=50)
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        PointerChaseParams(nodes=1)
+    with pytest.raises(ConfigError):
+        PointerChaseParams(hops_per_thread=0)
+
+
+def test_chain_is_a_single_cycle():
+    world = FlatMemory()
+    chain = PointerChain(SMALL, base_addr=0, world=world)
+    seen = set()
+    node = chain.head
+    for _ in range(SMALL.nodes):
+        assert node not in seen
+        seen.add(node)
+        node = world.read_word(node)
+    assert node == chain.head  # closed cycle covering every node
+    assert len(seen) == SMALL.nodes
+
+
+def test_timed_walk_matches_functional_walk():
+    for mechanism, backing in (
+        (AccessMechanism.ON_DEMAND, BackingStore.DRAM),
+        (AccessMechanism.PREFETCH, BackingStore.DEVICE),
+        (AccessMechanism.SOFTWARE_QUEUE, BackingStore.DEVICE),
+    ):
+        config = SystemConfig(
+            mechanism=mechanism, backing=backing, threads_per_core=2
+        )
+        system = System(config)
+        chains = install_pointer_chase(system, SMALL, 2)
+        handles = {
+            (core, slot): thread
+            for (core, slot), thread in zip(
+                sorted(chains), system.runtimes[0].threads
+            )
+        }
+        system.run_to_completion(limit_ticks=10**12)
+        for key, chain in chains.items():
+            expected = chain.walk_functional(SMALL.hops_per_thread)
+            assert handles[key].result == expected
+
+
+def test_serial_chain_cannot_be_hidden_within_a_thread():
+    """One thread's hops serialize at full device latency regardless of
+    mechanism -- the next address is unknown until the load returns."""
+    config = SystemConfig(
+        mechanism=AccessMechanism.PREFETCH,
+        threads_per_core=1,
+        device=DeviceConfig(total_latency_us=1.0),
+    )
+    system = System(config)
+    install_pointer_chase(system, SMALL, 1)
+    ticks = system.run_to_completion(limit_ticks=10**12)
+    # 32 hops x ~1 us each: nothing overlapped.
+    assert to_us(ticks) > 0.95 * SMALL.hops_per_thread
+
+
+def test_parallel_chains_overlap_across_threads():
+    """The paper's thesis: software parallelism across threads hides
+    what no hardware can hide within one chain."""
+
+    def run(threads):
+        config = SystemConfig(
+            mechanism=AccessMechanism.PREFETCH,
+            threads_per_core=threads,
+            device=DeviceConfig(total_latency_us=1.0),
+        )
+        system = System(config)
+        install_pointer_chase(system, SMALL, threads)
+        return system.run_to_completion(limit_ticks=10**12)
+
+    one = run(1)
+    eight = run(8)
+    # 8x the total hops in barely more wall time.
+    assert eight < 1.4 * one

@@ -1,0 +1,77 @@
+"""Unit tests for the spin barrier and the hash utilities."""
+
+import pytest
+
+from repro.config import AccessMechanism, SystemConfig
+from repro.errors import ConfigError
+from repro.host.system import System
+from repro.workloads.hashing import hash_with_seed, mix64
+from repro.workloads.spin import SpinBarrier
+
+
+def test_mix64_is_deterministic_and_64bit():
+    assert mix64(12345) == mix64(12345)
+    assert 0 <= mix64(2**63) < 2**64
+    assert mix64(1) != mix64(2)
+
+
+def test_hash_family_members_are_independent_ish():
+    values = {hash_with_seed(42, seed) for seed in range(8)}
+    assert len(values) == 8
+
+
+def test_mix64_distributes_low_bits():
+    # Consecutive inputs should not produce consecutive outputs.
+    outs = [mix64(i) % 64 for i in range(256)]
+    assert len(set(outs)) > 32
+
+
+def test_barrier_requires_parties():
+    with pytest.raises(ConfigError):
+        SpinBarrier(0)
+
+
+def test_barrier_synchronizes_threads():
+    config = SystemConfig(mechanism=AccessMechanism.PREFETCH, threads_per_core=3)
+    system = System(config)
+    barrier = SpinBarrier(3)
+    log = []
+
+    def factory_for(tag, delay_work):
+        def factory(ctx):
+            def body():
+                yield from ctx.work(delay_work)
+                log.append(("before", tag))
+                yield from barrier.wait(ctx)
+                log.append(("after", tag))
+            return body()
+        return factory
+
+    for tag, work in (("a", 10), ("b", 500), ("c", 2000)):
+        system.spawn(0, factory_for(tag, work))
+    system.run_to_completion(limit_ticks=10**10)
+    befores = [i for i, (phase, _) in enumerate(log) if phase == "before"]
+    afters = [i for i, (phase, _) in enumerate(log) if phase == "after"]
+    assert max(befores) < min(afters)
+
+
+def test_barrier_is_reusable_across_generations():
+    config = SystemConfig(mechanism=AccessMechanism.PREFETCH, threads_per_core=2)
+    system = System(config)
+    barrier = SpinBarrier(2)
+    rounds = {"a": 0, "b": 0}
+
+    def factory_for(tag):
+        def factory(ctx):
+            def body():
+                for _ in range(5):
+                    yield from barrier.wait(ctx)
+                    rounds[tag] += 1
+            return body()
+        return factory
+
+    system.spawn(0, factory_for("a"))
+    system.spawn(0, factory_for("b"))
+    system.run_to_completion(limit_ticks=10**10)
+    assert rounds == {"a": 5, "b": 5}
+    assert barrier.generation == 5
