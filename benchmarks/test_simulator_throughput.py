@@ -2,16 +2,63 @@
 
 Not a paper figure -- this guards against performance regressions in
 the discrete-event kernel, which every experiment's runtime depends
-on.  Unlike the figure benchmarks (pedantic, one round), these use
-pytest-benchmark's normal timing loop.
+on, and against regressions in the sweep engine's caching (a warm
+figure rerun must perform zero simulations).  The kernel benchmarks
+use pytest-benchmark's normal timing loop; the sweep checks time two
+explicit runs because their contract is about the *second* run.
 """
+
+import time
 
 from repro.config import AccessMechanism, DeviceConfig, SystemConfig
 from repro.harness.experiment import MeasureWindow, run_microbench
+from repro.harness.figures import fig3
+from repro.harness.sweep import SweepEngine
 from repro.sim import Simulator, Store
 from repro.workloads.microbench import MicrobenchSpec
 
 WINDOW = MeasureWindow(warmup_us=10.0, measure_us=40.0)
+
+
+def _series(figure):
+    return [(series.label, series.points) for series in figure.series]
+
+
+def test_sweep_parallel_matches_serial_bit_for_bit(tmp_path):
+    """Acceptance: figN(scale="quick") is identical between jobs=1 and
+    jobs>1 execution, point by point."""
+    serial = fig3(
+        "quick", engine=SweepEngine(jobs=1, cache_dir=tmp_path / "serial")
+    )
+    parallel = fig3(
+        "quick", engine=SweepEngine(jobs=4, cache_dir=tmp_path / "parallel")
+    )
+    assert _series(serial) == _series(parallel)
+
+
+def test_sweep_warm_cache_runs_zero_simulations(tmp_path):
+    """Acceptance: a repeated warm-cache figure run performs zero
+    simulations (cache-hit counters) and is dramatically faster."""
+    cache_dir = tmp_path / "cache"
+    cold_engine = SweepEngine(jobs=1, cache_dir=cache_dir)
+    started = time.perf_counter()
+    cold = fig3("quick", engine=cold_engine)
+    cold_s = time.perf_counter() - started
+    assert cold_engine.last_stats["simulated"] == cold_engine.last_stats["unique"]
+
+    warm_engine = SweepEngine(jobs=1, cache_dir=cache_dir)
+    started = time.perf_counter()
+    warm = fig3("quick", engine=warm_engine)
+    warm_s = time.perf_counter() - started
+
+    assert warm_engine.last_stats["simulated"] == 0
+    assert (
+        warm_engine.last_stats["cache_hits"]
+        == warm_engine.last_stats["unique"]
+    )
+    assert warm_engine.stats()["cache_misses"] == 0
+    assert _series(warm) == _series(cold)
+    assert warm_s < cold_s / 5
 
 
 def test_event_loop_throughput(benchmark):

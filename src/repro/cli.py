@@ -4,7 +4,8 @@
 
     python -m repro run --mechanism prefetch --threads 10 --latency-us 1
     python -m repro run --mechanism software-queue --threads 24 --cores 4
-    python -m repro figure fig3 --scale quick
+    python -m repro figure fig3 --scale quick --jobs 4
+    python -m repro sweep fig3 --scale full --jobs 8
     python -m repro app memcached --mechanism prefetch --threads 8
     python -m repro list
 """
@@ -12,7 +13,9 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.config import (
@@ -27,6 +30,7 @@ from repro.harness.applications import APPLICATIONS, normalized_application
 from repro.harness.experiment import MeasureWindow, normalized_microbench
 from repro.harness.figures import ALL_FIGURES
 from repro.harness.report import render_chart, render_table, to_csv
+from repro.harness.sweep import SweepEngine
 from repro.workloads.microbench import MicrobenchSpec
 
 __all__ = ["main", "build_parser"]
@@ -63,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure = commands.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=sorted(ALL_FIGURES))
     figure.add_argument("--scale", choices=("quick", "full"), default="quick")
+    _add_engine_flags(figure)
     figure.add_argument("--csv", metavar="PATH", default=None,
                         help="also write the series as CSV")
     figure.add_argument("--chart", action="store_true",
@@ -71,6 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="save the series as a JSON regression baseline")
     figure.add_argument("--compare-baseline", metavar="PATH", default=None,
                         help="diff the run against a stored baseline")
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run one figure's grid through the parallel sweep engine "
+             "and report execution/cache statistics",
+    )
+    sweep.add_argument("name", choices=sorted(ALL_FIGURES))
+    sweep.add_argument("--scale", choices=("quick", "full"), default="quick")
+    _add_engine_flags(sweep)
 
     app = commands.add_parser("app", help="run one application study")
     app.add_argument("name", choices=sorted(APPLICATIONS))
@@ -82,6 +96,33 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("list", help="list figures and applications")
     commands.add_parser("table1", help="print the paper's Table I taxonomy")
     return parser
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Sweep-engine flags shared by ``figure`` and ``sweep``."""
+    parser.add_argument(
+        "--jobs", type=int, metavar="N",
+        default=int(os.environ.get("REPRO_SWEEP_JOBS", "1") or "1"),
+        help="worker processes for the sweep (default: $REPRO_SWEEP_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        default=bool(os.environ.get("REPRO_NO_CACHE")),
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        default=os.environ.get("REPRO_CACHE_DIR", ".repro_cache"),
+        help="result-cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+
+
+def _engine_from_args(args: argparse.Namespace) -> SweepEngine:
+    return SweepEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
 
 
 def _system_config(args: argparse.Namespace) -> SystemConfig:
@@ -123,7 +164,7 @@ def _command_run(args: argparse.Namespace, out) -> int:
 
 
 def _command_figure(args: argparse.Namespace, out) -> int:
-    figure = ALL_FIGURES[args.name](args.scale)
+    figure = ALL_FIGURES[args.name](args.scale, engine=_engine_from_args(args))
     print(render_table(figure), file=out)
     if args.chart:
         print(render_chart(figure), file=out)
@@ -148,6 +189,30 @@ def _command_figure(args: argparse.Namespace, out) -> int:
                 print(f"  {deviation.describe()}", file=out)
             return 1
         print("matches baseline", file=out)
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace, out) -> int:
+    engine = _engine_from_args(args)
+    started = time.perf_counter()
+    figure = ALL_FIGURES[args.name](args.scale, engine=engine)
+    wall = time.perf_counter() - started
+    print(render_table(figure), file=out)
+    stats = engine.last_stats
+    per_job = engine.probes.latency("sweep-job-wall-ns")
+    cache_note = str(engine.cache.root) if engine.cache else "disabled"
+    print(f"workers       : {engine.jobs}", file=out)
+    print(f"jobs          : {stats['jobs']} submitted, "
+          f"{stats['unique']} unique", file=out)
+    print(f"cache         : {stats['cache_hits']} hits, "
+          f"{stats['cache_misses']} misses ({cache_note})", file=out)
+    print(f"simulated     : {stats['simulated']} jobs "
+          f"({stats['retries']} retries, {stats['fallbacks']} fallbacks)",
+          file=out)
+    if per_job.count:
+        print(f"per-job wall  : {per_job.mean / 1e9:.3f} s mean, "
+              f"{(per_job.maximum or 0) / 1e9:.3f} s max", file=out)
+    print(f"total wall    : {wall:.2f} s", file=out)
     return 0
 
 
@@ -186,6 +251,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_run(args, out)
         if args.command == "figure":
             return _command_figure(args, out)
+        if args.command == "sweep":
+            return _command_sweep(args, out)
         if args.command == "app":
             return _command_app(args, out)
         if args.command == "list":

@@ -15,12 +15,16 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.units import Frequency, ns, us
 
 __all__ = [
+    "to_jsonable",
+    "stable_digest",
     "AccessMechanism",
     "BackingStore",
     "DeviceAttachment",
@@ -65,6 +69,46 @@ class BackingStore(enum.Enum):
 def _require(condition: bool, message: str) -> None:
     if not condition:
         raise ConfigError(message)
+
+
+def to_jsonable(value: object) -> object:
+    """A canonical JSON-able form of a config/spec object.
+
+    Frozen config dataclasses, enums, and plain containers reduce to
+    primitives deterministically, so the same configuration always
+    serializes to the same JSON text -- the property the sweep engine's
+    content-addressed result cache is built on.  Unknown types are a
+    :class:`~repro.errors.ConfigError` rather than a silent
+    ``repr``-based fallback, because a lossy key would let two
+    different configurations share a cache entry.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field_.name: to_jsonable(getattr(value, field_.name))
+            for field_ in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigError(
+        f"cannot canonicalize a {type(value).__name__} for stable hashing"
+    )
+
+
+def stable_digest(*parts: object) -> str:
+    """SHA-256 over the canonical JSON of ``parts`` (stable across
+    processes and Python versions, unlike ``hash()``)."""
+    payload = json.dumps(
+        [to_jsonable(part) for part in parts],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)

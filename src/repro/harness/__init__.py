@@ -21,6 +21,16 @@ from repro.harness.experiment import (
     run_microbench,
 )
 from repro.harness.figures import ALL_FIGURES, FigureResult, Series
+from repro.harness.sweep import (
+    MODEL_VERSION,
+    JobOutcome,
+    ResultCache,
+    SweepEngine,
+    SweepJob,
+    SweepSpec,
+    baseline_job,
+    job_digest,
+)
 from repro.harness.regression import (
     compare_to_baseline,
     load_baseline,
@@ -30,7 +40,15 @@ from repro.harness.report import render_chart, render_summary, render_table, to_
 
 __all__ = [
     "ALL_FIGURES",
+    "MODEL_VERSION",
+    "JobOutcome",
+    "ResultCache",
+    "SweepEngine",
+    "SweepJob",
+    "SweepSpec",
+    "baseline_job",
     "compare_to_baseline",
+    "job_digest",
     "load_baseline",
     "predict_on_demand_ipc",
     "predict_prefetch_bounds",

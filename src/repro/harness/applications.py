@@ -142,6 +142,8 @@ class _AppBaselineCache:
             mechanism=AccessMechanism.ON_DEMAND,
             backing=BackingStore.DRAM,
         )
+        # Same key discipline as BaselineCache: cover everything the
+        # baseline run consumes, including the threading runtime.
         key = (
             name,
             params,
@@ -149,6 +151,7 @@ class _AppBaselineCache:
             baseline_config.cache,
             baseline_config.host_dram,
             baseline_config.uncore,
+            baseline_config.threading,
         )
         if key not in self._cache:
             self._cache[key] = run_application(

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.config import AccessMechanism, BackingStore, SystemConfig
+from repro.errors import SimulationError
 from repro.host.driver import PlatformConfig
 from repro.host.system import System, WindowStats
 from repro.units import us
@@ -96,13 +97,22 @@ class BaselineCache:
             mechanism=AccessMechanism.ON_DEMAND,
             backing=BackingStore.DRAM,
         )
+        # The key must cover every input the baseline run consumes:
+        # the stripped-down config (including the threading runtime,
+        # whose costs the scheduler charges even on the baseline) and
+        # every MicrobenchSpec field copied into the baseline spec
+        # below.  Omitting lines_per_thread here once let sweeps that
+        # vary the working-set size normalize against the wrong
+        # baseline.
         key = (
             baseline_config.cpu,
             baseline_config.cache,
             baseline_config.uncore,
             baseline_config.host_dram,
+            baseline_config.threading,
             spec.work_count,
             spec.reads_per_batch,
+            spec.lines_per_thread,
             window,
         )
         if key not in self._cache:
@@ -117,17 +127,23 @@ class BaselineCache:
         return self._cache[key]
 
 
-#: Shared module-level cache (figure sweeps reuse baselines heavily).
-_BASELINES = BaselineCache()
-
-
 def microbench_baseline(
     config: SystemConfig,
     spec: MicrobenchSpec,
     window: MeasureWindow = MeasureWindow(),
+    baselines: Optional[BaselineCache] = None,
 ) -> MicrobenchResult:
-    """The single-threaded on-demand DRAM baseline for ``spec``."""
-    return _BASELINES.get(config, spec, window)
+    """The single-threaded on-demand DRAM baseline for ``spec``.
+
+    Pass a :class:`BaselineCache` to memoize across calls; without one
+    the baseline is recomputed (deterministically) each time.  Figure
+    sweeps go through :mod:`repro.harness.sweep`, where baselines are
+    ordinary content-addressed cached jobs -- there is deliberately no
+    module-level cache here, because shared mutable module state is
+    invisible to worker processes and went stale across model changes.
+    """
+    cache = baselines if baselines is not None else BaselineCache()
+    return cache.get(config, spec, window)
 
 
 def normalized_microbench(
@@ -135,6 +151,7 @@ def normalized_microbench(
     spec: MicrobenchSpec,
     window: MeasureWindow = MeasureWindow(),
     platform: Optional[PlatformConfig] = None,
+    baselines: Optional[BaselineCache] = None,
 ) -> tuple[float, MicrobenchResult]:
     """Normalized work IPC (the paper's headline metric) plus the run.
 
@@ -143,7 +160,11 @@ def normalized_microbench(
     baseline with a matching degree of MLP" (section V-B).
     """
     result = run_microbench(config, spec, window, platform)
-    baseline = microbench_baseline(config, spec, window)
+    baseline = microbench_baseline(config, spec, window, baselines)
     if baseline.work_ipc == 0:
-        raise ZeroDivisionError("baseline measured zero work IPC")
+        raise SimulationError(
+            "baseline measured zero work IPC for "
+            f"{config.describe()} (work_count={spec.work_count}, "
+            f"MLP {spec.reads_per_batch}); cannot normalize"
+        )
     return result.work_ipc / baseline.work_ipc, result

@@ -1,9 +1,24 @@
 """One entry point per figure of the paper's evaluation (section V).
 
-Each ``figN()`` function runs the corresponding experiment sweep and
-returns a :class:`FigureResult` whose series mirror the lines of the
-paper's plot.  ``scale="quick"`` trims the grids for CI-speed runs;
-``scale="full"`` reproduces the paper's grids.
+Each ``figN()`` function builds the corresponding experiment grid as a
+:class:`~repro.harness.sweep.SweepSpec`, submits it to a
+:class:`~repro.harness.sweep.SweepEngine` (parallel workers + on-disk
+result cache), and returns a :class:`FigureResult` whose series mirror
+the lines of the paper's plot.  ``scale="quick"`` trims the grids for
+CI-speed runs; ``scale="full"`` reproduces the paper's grids.
+
+Baselines are ordinary sweep jobs derived per measurement by
+:func:`~repro.harness.sweep.baseline_job`; the engine's key-level
+deduplication runs each distinct baseline once per sweep.  Because the
+engine returns outcomes in submission order and every job is a
+deterministic simulation, a figure's series are bit-for-bit identical
+whether the sweep ran serially, on a worker pool, or from a warm
+cache.
+
+Pass ``engine=`` to control workers/caching explicitly; by default an
+engine is built from the environment (``REPRO_SWEEP_JOBS``,
+``REPRO_CACHE_DIR``, ``REPRO_NO_CACHE`` -- see
+:meth:`~repro.harness.sweep.SweepEngine.from_env`).
 
 The benchmark suite (``benchmarks/``) calls these functions, asserts
 the paper's qualitative claims about each figure, and renders the
@@ -12,20 +27,19 @@ series as text tables (see :mod:`repro.harness.report`).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.config import (
     AccessMechanism,
     DeviceConfig,
     SystemConfig,
 )
-from repro.harness.applications import (
-    APPLICATIONS,
-    default_params,
-    normalized_application,
-)
-from repro.harness.experiment import MeasureWindow, normalized_microbench
+from repro.errors import SimulationError
+from repro.harness.applications import APPLICATIONS, default_params
+from repro.harness.experiment import MeasureWindow
+from repro.harness.sweep import SweepEngine, SweepJob, SweepSpec, baseline_job
 from repro.workloads.microbench import MicrobenchSpec
 
 __all__ = [
@@ -66,8 +80,10 @@ class Series:
         return [y for _x, y in self.points]
 
     def y_at(self, x: float) -> float:
+        # Tolerant comparison: float-valued x-axes (latency in us, say)
+        # must not silently miss a point to representation error.
         for px, py in self.points:
-            if px == x:
+            if math.isclose(px, x, rel_tol=1e-9, abs_tol=1e-12):
                 return py
         raise KeyError(f"no point at x={x} in series {self.label!r}")
 
@@ -101,11 +117,56 @@ def _threads_grid(scale: str, full: Sequence[int], quick: Sequence[int]) -> list
     return list(full if scale == "full" else quick)
 
 
+def _resolve_engine(engine: Optional[SweepEngine]) -> SweepEngine:
+    return engine if engine is not None else SweepEngine.from_env()
+
+
+def _run_normalized_microbench(
+    name: str,
+    grid: list[tuple[Series, float, SweepJob]],
+    engine: Optional[SweepEngine],
+) -> None:
+    """Run every (series, x, job) measurement plus its derived baseline
+    in one sweep, then fill the series with normalized work IPC."""
+    engine = _resolve_engine(engine)
+    jobs = [job for _line, _x, job in grid]
+    sweep = SweepSpec(name, jobs + [baseline_job(job) for job in jobs])
+    outcomes = engine.run(sweep)
+    measured, baselines = outcomes[: len(jobs)], outcomes[len(jobs):]
+    for (line, x, job), run, base in zip(grid, measured, baselines):
+        baseline_ipc = base.payload["work_ipc"]
+        if baseline_ipc == 0:
+            raise SimulationError(
+                "baseline measured zero work IPC for "
+                f"{job.config.describe()} (work_count={job.spec.work_count}, "
+                f"MLP {job.spec.reads_per_batch}); cannot normalize"
+            )
+        line.add(x, run.payload["work_ipc"] / baseline_ipc)
+
+
+def _run_normalized_applications(
+    name: str,
+    grid: list[tuple[Series, float, SweepJob]],
+    engine: Optional[SweepEngine],
+) -> None:
+    """Application counterpart: per-operation speedup over the
+    single-thread DRAM baseline (section IV-C)."""
+    engine = _resolve_engine(engine)
+    jobs = [job for _line, _x, job in grid]
+    sweep = SweepSpec(name, jobs + [baseline_job(job) for job in jobs])
+    outcomes = engine.run(sweep)
+    measured, baselines = outcomes[: len(jobs)], outcomes[len(jobs):]
+    for (line, x, _job), run, base in zip(grid, measured, baselines):
+        base_per_op = base.payload["ticks"] / base.payload["operations"]
+        run_per_op = run.payload["ticks"] / run.payload["operations"]
+        line.add(x, base_per_op / run_per_op)
+
+
 # ---------------------------------------------------------------------------
 # Figure 2: on-demand access vs work-count
 # ---------------------------------------------------------------------------
 
-def fig2(scale: str = "quick") -> FigureResult:
+def fig2(scale: str = "quick", engine: Optional[SweepEngine] = None) -> FigureResult:
     """On-demand access of the microsecond device (vs work-count)."""
     result = FigureResult(
         "fig2",
@@ -117,6 +178,7 @@ def fig2(scale: str = "quick") -> FigureResult:
         scale, full=(10, 50, 100, 200, 500, 1000, 2000, 5000),
         quick=(10, 100, 1000, 5000),
     )
+    grid = []
     for latency_us in (1.0, 2.0, 4.0):
         line = result.new_series(f"{latency_us:g}us")
         for work in work_counts:
@@ -125,10 +187,13 @@ def fig2(scale: str = "quick") -> FigureResult:
                 threads_per_core=1,
                 device=DeviceConfig(total_latency_us=latency_us),
             )
-            norm, _ = normalized_microbench(
-                config, MicrobenchSpec(work_count=work), _LONG_WINDOW
+            job = SweepJob(
+                config=config,
+                spec=MicrobenchSpec(work_count=work),
+                window=_LONG_WINDOW,
             )
-            line.add(work, norm)
+            grid.append((line, work, job))
+    _run_normalized_microbench("fig2", grid, engine)
     return result
 
 
@@ -136,7 +201,7 @@ def fig2(scale: str = "quick") -> FigureResult:
 # Figure 3: prefetch-based access vs thread count, three latencies
 # ---------------------------------------------------------------------------
 
-def fig3(scale: str = "quick") -> FigureResult:
+def fig3(scale: str = "quick", engine: Optional[SweepEngine] = None) -> FigureResult:
     """Prefetch-based access with various latencies."""
     result = FigureResult(
         "fig3",
@@ -147,6 +212,7 @@ def fig3(scale: str = "quick") -> FigureResult:
     threads_grid = _threads_grid(
         scale, full=tuple(range(1, 17)), quick=(1, 2, 4, 8, 10, 12, 16)
     )
+    grid = []
     for latency_us in (1.0, 2.0, 4.0):
         line = result.new_series(f"{latency_us:g}us")
         for threads in threads_grid:
@@ -155,10 +221,13 @@ def fig3(scale: str = "quick") -> FigureResult:
                 threads_per_core=threads,
                 device=DeviceConfig(total_latency_us=latency_us),
             )
-            norm, _ = normalized_microbench(
-                config, MicrobenchSpec(work_count=DEFAULT_WORK), _WINDOW
+            job = SweepJob(
+                config=config,
+                spec=MicrobenchSpec(work_count=DEFAULT_WORK),
+                window=_WINDOW,
             )
-            line.add(threads, norm)
+            grid.append((line, threads, job))
+    _run_normalized_microbench("fig3", grid, engine)
     return result
 
 
@@ -166,7 +235,7 @@ def fig3(scale: str = "quick") -> FigureResult:
 # Figure 4: prefetch at 1 us with various work-counts
 # ---------------------------------------------------------------------------
 
-def fig4(scale: str = "quick") -> FigureResult:
+def fig4(scale: str = "quick", engine: Optional[SweepEngine] = None) -> FigureResult:
     """1 us prefetch-based access with various work counts."""
     result = FigureResult(
         "fig4",
@@ -178,6 +247,7 @@ def fig4(scale: str = "quick") -> FigureResult:
         scale, full=tuple(range(1, 17)), quick=(1, 2, 4, 6, 8, 10, 12, 16)
     )
     work_grid = (100, 200, 400, 800, 1600) if scale == "full" else (100, 200, 800)
+    grid = []
     for work in work_grid:
         line = result.new_series(f"work={work}")
         for threads in threads_grid:
@@ -186,10 +256,13 @@ def fig4(scale: str = "quick") -> FigureResult:
                 threads_per_core=threads,
                 device=DeviceConfig(total_latency_us=1.0),
             )
-            norm, _ = normalized_microbench(
-                config, MicrobenchSpec(work_count=work), _WINDOW
+            job = SweepJob(
+                config=config,
+                spec=MicrobenchSpec(work_count=work),
+                window=_WINDOW,
             )
-            line.add(threads, norm)
+            grid.append((line, threads, job))
+    _run_normalized_microbench("fig4", grid, engine)
     return result
 
 
@@ -197,7 +270,7 @@ def fig4(scale: str = "quick") -> FigureResult:
 # Figure 5: multicore prefetch-based access
 # ---------------------------------------------------------------------------
 
-def fig5(scale: str = "quick") -> FigureResult:
+def fig5(scale: str = "quick", engine: Optional[SweepEngine] = None) -> FigureResult:
     """Multicore prefetch-based access (the 14-entry chip queue cap)."""
     result = FigureResult(
         "fig5",
@@ -209,6 +282,7 @@ def fig5(scale: str = "quick") -> FigureResult:
         scale, full=(1, 2, 4, 6, 8, 10, 12, 16), quick=(1, 2, 4, 8, 16)
     )
     latencies = (1.0, 4.0) if scale == "quick" else (1.0, 2.0, 4.0)
+    grid = []
     for latency_us in latencies:
         for cores in (1, 2, 4, 8):
             line = result.new_series(f"{latency_us:g}us/{cores}core")
@@ -219,10 +293,13 @@ def fig5(scale: str = "quick") -> FigureResult:
                     threads_per_core=threads,
                     device=DeviceConfig(total_latency_us=latency_us),
                 )
-                norm, _ = normalized_microbench(
-                    config, MicrobenchSpec(work_count=DEFAULT_WORK), _WINDOW
+                job = SweepJob(
+                    config=config,
+                    spec=MicrobenchSpec(work_count=DEFAULT_WORK),
+                    window=_WINDOW,
                 )
-                line.add(threads, norm)
+                grid.append((line, threads, job))
+    _run_normalized_microbench("fig5", grid, engine)
     return result
 
 
@@ -230,7 +307,7 @@ def fig5(scale: str = "quick") -> FigureResult:
 # Figure 6: prefetch with memory-level parallelism
 # ---------------------------------------------------------------------------
 
-def fig6(scale: str = "quick") -> FigureResult:
+def fig6(scale: str = "quick", engine: Optional[SweepEngine] = None) -> FigureResult:
     """1 us prefetch-based access at MLP 1 / 2 / 4 ("n-read")."""
     result = FigureResult(
         "fig6",
@@ -241,6 +318,7 @@ def fig6(scale: str = "quick") -> FigureResult:
     threads_grid = _threads_grid(
         scale, full=tuple(range(1, 17)), quick=(1, 2, 3, 4, 5, 8, 10, 16)
     )
+    grid = []
     for reads in (1, 2, 4):
         line = result.new_series(f"{reads}-read")
         for threads in threads_grid:
@@ -249,12 +327,15 @@ def fig6(scale: str = "quick") -> FigureResult:
                 threads_per_core=threads,
                 device=DeviceConfig(total_latency_us=1.0),
             )
-            norm, _ = normalized_microbench(
-                config,
-                MicrobenchSpec(work_count=DEFAULT_WORK, reads_per_batch=reads),
-                _WINDOW,
+            job = SweepJob(
+                config=config,
+                spec=MicrobenchSpec(
+                    work_count=DEFAULT_WORK, reads_per_batch=reads
+                ),
+                window=_WINDOW,
             )
-            line.add(threads, norm)
+            grid.append((line, threads, job))
+    _run_normalized_microbench("fig6", grid, engine)
     return result
 
 
@@ -262,7 +343,7 @@ def fig6(scale: str = "quick") -> FigureResult:
 # Figure 7: application-managed queues vs prefetch
 # ---------------------------------------------------------------------------
 
-def fig7(scale: str = "quick") -> FigureResult:
+def fig7(scale: str = "quick", engine: Optional[SweepEngine] = None) -> FigureResult:
     """SWQ vs prefetch at 1 us and 4 us."""
     result = FigureResult(
         "fig7",
@@ -275,6 +356,7 @@ def fig7(scale: str = "quick") -> FigureResult:
         full=(1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32),
         quick=(1, 4, 8, 10, 16, 24, 32),
     )
+    grid = []
     for mechanism, tag in (
         (AccessMechanism.PREFETCH, "prefetch"),
         (AccessMechanism.SOFTWARE_QUEUE, "swq"),
@@ -287,10 +369,13 @@ def fig7(scale: str = "quick") -> FigureResult:
                     threads_per_core=threads,
                     device=DeviceConfig(total_latency_us=latency_us),
                 )
-                norm, _ = normalized_microbench(
-                    config, MicrobenchSpec(work_count=DEFAULT_WORK), _WINDOW
+                job = SweepJob(
+                    config=config,
+                    spec=MicrobenchSpec(work_count=DEFAULT_WORK),
+                    window=_WINDOW,
                 )
-                line.add(threads, norm)
+                grid.append((line, threads, job))
+    _run_normalized_microbench("fig7", grid, engine)
     return result
 
 
@@ -298,7 +383,7 @@ def fig7(scale: str = "quick") -> FigureResult:
 # Figure 8: multicore software-managed queues
 # ---------------------------------------------------------------------------
 
-def fig8(scale: str = "quick") -> FigureResult:
+def fig8(scale: str = "quick", engine: Optional[SweepEngine] = None) -> FigureResult:
     """Multicore SWQ (the PCIe request-rate wall at eight cores)."""
     result = FigureResult(
         "fig8",
@@ -309,6 +394,7 @@ def fig8(scale: str = "quick") -> FigureResult:
     threads_grid = _threads_grid(
         scale, full=(4, 8, 12, 16, 20, 24, 32), quick=(4, 8, 16, 24, 32)
     )
+    grid = []
     for latency_us in (1.0, 4.0):
         for cores in (1, 2, 4, 8):
             line = result.new_series(f"{latency_us:g}us/{cores}core")
@@ -319,10 +405,13 @@ def fig8(scale: str = "quick") -> FigureResult:
                     threads_per_core=threads,
                     device=DeviceConfig(total_latency_us=latency_us),
                 )
-                norm, _ = normalized_microbench(
-                    config, MicrobenchSpec(work_count=DEFAULT_WORK), _WINDOW
+                job = SweepJob(
+                    config=config,
+                    spec=MicrobenchSpec(work_count=DEFAULT_WORK),
+                    window=_WINDOW,
                 )
-                line.add(threads, norm)
+                grid.append((line, threads, job))
+    _run_normalized_microbench("fig8", grid, engine)
     return result
 
 
@@ -330,7 +419,7 @@ def fig8(scale: str = "quick") -> FigureResult:
 # Figure 9: software-managed queues with MLP
 # ---------------------------------------------------------------------------
 
-def fig9(scale: str = "quick") -> FigureResult:
+def fig9(scale: str = "quick", engine: Optional[SweepEngine] = None) -> FigureResult:
     """SWQ at MLP 1 / 2 / 4, one core and four cores."""
     result = FigureResult(
         "fig9",
@@ -341,6 +430,7 @@ def fig9(scale: str = "quick") -> FigureResult:
     threads_grid = _threads_grid(
         scale, full=(2, 4, 8, 12, 16, 24, 32), quick=(4, 8, 16, 24, 32)
     )
+    grid = []
     for cores, panel in ((1, "1core"), (4, "4core")):
         for reads in (1, 2, 4):
             line = result.new_series(f"{panel}/{reads}-read")
@@ -351,12 +441,15 @@ def fig9(scale: str = "quick") -> FigureResult:
                     threads_per_core=threads,
                     device=DeviceConfig(total_latency_us=1.0),
                 )
-                norm, _ = normalized_microbench(
-                    config,
-                    MicrobenchSpec(work_count=DEFAULT_WORK, reads_per_batch=reads),
-                    _WINDOW,
+                job = SweepJob(
+                    config=config,
+                    spec=MicrobenchSpec(
+                        work_count=DEFAULT_WORK, reads_per_batch=reads
+                    ),
+                    window=_WINDOW,
                 )
-                line.add(threads, norm)
+                grid.append((line, threads, job))
+    _run_normalized_microbench("fig9", grid, engine)
     return result
 
 
@@ -364,7 +457,7 @@ def fig9(scale: str = "quick") -> FigureResult:
 # Figure 10: application case studies
 # ---------------------------------------------------------------------------
 
-def fig10(scale: str = "quick") -> FigureResult:
+def fig10(scale: str = "quick", engine: Optional[SweepEngine] = None) -> FigureResult:
     """BFS / Bloom / Memcached / 4-read microbench, four panels:
     (a) prefetch 1-core, (b) SWQ 1-core, (c) prefetch 8-core,
     (d) SWQ 8-core -- all at 1 us."""
@@ -385,6 +478,7 @@ def fig10(scale: str = "quick") -> FigureResult:
     )
     ops = 48 if scale == "full" else 24
     vertices = 2048 if scale == "full" else 1024
+    grid = []
     for panel, mechanism, cores in panels:
         for app in APPLICATIONS:
             params = default_params(app, ops_per_thread=ops, bfs_vertices=vertices)
@@ -396,8 +490,9 @@ def fig10(scale: str = "quick") -> FigureResult:
                     threads_per_core=threads,
                     device=DeviceConfig(total_latency_us=1.0),
                 )
-                norm, _ = normalized_application(config, app, params=params)
-                line.add(threads, norm)
+                job = SweepJob(config=config, app=app, params=params)
+                grid.append((line, threads, job))
+    _run_normalized_applications("fig10", grid, engine)
     return result
 
 

@@ -1,0 +1,448 @@
+"""Parallel sweep engine with an on-disk result cache.
+
+Every figure of the paper's evaluation (section V) is a grid of
+*independent* simulator runs, and every run is bit-for-bit
+deterministic (see ``docs/MODEL.md``).  That combination makes the
+sweep layer embarrassingly parallel and perfectly cacheable:
+
+* a :class:`SweepSpec` is a declarative list of :class:`SweepJob`
+  entries (a microbenchmark measurement or a timed application run);
+* a :class:`SweepEngine` executes the unique jobs of a sweep on a
+  ``multiprocessing`` worker pool (``jobs=1`` stays in-process) and
+  returns outcomes **in submission order**, regardless of completion
+  order, so serial and parallel execution produce identical figures;
+* results are memoized in a content-addressed JSON cache under
+  ``.repro_cache/``, keyed by a :func:`~repro.config.stable_digest` of
+  the full job description (:class:`~repro.config.SystemConfig` +
+  :class:`~repro.workloads.microbench.MicrobenchSpec` +
+  :class:`~repro.harness.experiment.MeasureWindow` + application
+  parameters) salted with :data:`MODEL_VERSION`, so repeated figure
+  runs and CI are near-instant and a model change invalidates
+  everything at once;
+* a worker that dies, hangs past ``timeout_s``, or cannot be spawned
+  at all is retried and then **falls back to in-process execution**,
+  so a sweep always completes with correct results.
+
+Baselines are ordinary jobs: :func:`baseline_job` derives the
+single-thread on-demand DRAM run that normalizes a measurement, and
+the engine's key-level deduplication runs each distinct baseline once
+per sweep (and zero times when warm in the cache).  This replaces the
+process-unsafe module-level baseline singleton the harness used to
+rely on.
+
+Execution statistics flow through :class:`repro.sim.trace.ProbeSet`
+counters (``sweep-cache-hit``, ``sweep-cache-miss``, ``sweep-sim``,
+``sweep-retry``, ``sweep-fallback``) and a ``sweep-job-wall-ns``
+latency probe, so benchmarks can assert cache behavior and speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.config import (
+    AccessMechanism,
+    BackingStore,
+    DeviceConfig,
+    KernelQueueConfig,
+    OnboardDramConfig,
+    PcieConfig,
+    SwqConfig,
+    SystemConfig,
+    stable_digest,
+    to_jsonable,
+)
+from repro.errors import ConfigError
+from repro.harness.applications import run_application
+from repro.harness.experiment import MeasureWindow, run_microbench
+from repro.sim.trace import ProbeSet
+from repro.workloads.microbench import MicrobenchSpec
+
+__all__ = [
+    "MODEL_VERSION",
+    "SweepJob",
+    "SweepSpec",
+    "JobOutcome",
+    "ResultCache",
+    "SweepEngine",
+    "baseline_job",
+    "job_digest",
+]
+
+#: Cache salt: bump whenever a model change alters simulator outputs,
+#: so every previously cached sweep result is invalidated at once.
+MODEL_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent simulator run inside a sweep.
+
+    Either a windowed microbenchmark measurement (``spec`` + ``window``)
+    or a run-to-completion application study (``app`` + ``params``).
+    ``label`` is an opaque tag threaded through to the outcome for the
+    caller's bookkeeping; it is never part of the cache key.
+    """
+
+    config: SystemConfig
+    spec: Optional[MicrobenchSpec] = None
+    window: Optional[MeasureWindow] = None
+    app: Optional[str] = None
+    params: object = None
+    label: object = None
+
+    def __post_init__(self) -> None:
+        if self.app is None:
+            if self.spec is None:
+                raise ConfigError("a microbench job needs a MicrobenchSpec")
+            if self.window is None:
+                object.__setattr__(self, "window", MeasureWindow())
+        elif self.spec is not None or self.window is not None:
+            raise ConfigError("an application job takes no spec/window")
+
+    @property
+    def kind(self) -> str:
+        return "application" if self.app is not None else "microbench"
+
+    def describe(self) -> str:
+        target = self.app if self.app is not None else (
+            f"microbench work={self.spec.work_count}"
+        )
+        return f"{target} on {self.config.describe()}"
+
+
+@dataclass
+class SweepSpec:
+    """A named, ordered list of sweep jobs (one figure grid, say)."""
+
+    name: str = "sweep"
+    jobs: list[SweepJob] = field(default_factory=list)
+
+    def add(self, job: SweepJob) -> SweepJob:
+        self.jobs.append(job)
+        return job
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One executed (or cache-served) job, in submission order."""
+
+    job: SweepJob
+    key: str
+    payload: dict
+    cached: bool
+
+
+def job_digest(job: SweepJob, salt: str = MODEL_VERSION) -> str:
+    """Content-addressed cache key of ``job`` (label excluded)."""
+    return stable_digest(
+        salt, job.kind, job.config, job.spec, job.window, job.app, job.params
+    )
+
+
+def baseline_job(job: SweepJob) -> SweepJob:
+    """The single-thread on-demand DRAM run that normalizes ``job``.
+
+    Mirrors the measurement protocol of section IV-C: same CPU, cache,
+    uncore, and DRAM parameters; one thread on one core; plain loads
+    from host DRAM.  For microbenchmarks the baseline keeps every spec
+    field the baseline run consumes -- work-count, MLP ("normalized to
+    the DRAM baseline with a matching degree of MLP", section V-B),
+    and the per-thread working-set size.
+
+    Parameters of paths the DRAM baseline never exercises (the device,
+    PCIe, SWQ, and kernel-queue configs) are canonicalized to their
+    defaults, so a latency sweep shares one baseline run instead of
+    re-simulating an identical baseline per device latency.
+    """
+    config = job.config.replace(
+        cores=1,
+        threads_per_core=1,
+        mechanism=AccessMechanism.ON_DEMAND,
+        backing=BackingStore.DRAM,
+        device=DeviceConfig(),
+        pcie=PcieConfig(),
+        onboard_dram=OnboardDramConfig(),
+        swq=SwqConfig(),
+        kernel_queue=KernelQueueConfig(),
+    )
+    if job.app is not None:
+        return SweepJob(config=config, app=job.app, params=job.params)
+    spec = MicrobenchSpec(
+        work_count=job.spec.work_count,
+        reads_per_batch=job.spec.reads_per_batch,
+        lines_per_thread=job.spec.lines_per_thread,
+    )
+    return SweepJob(config=config, spec=spec, window=job.window)
+
+
+def _execute_job(job: SweepJob) -> dict:
+    """Run one job to a small JSON-able payload (worker entry point)."""
+    if job.app is not None:
+        run = run_application(job.config, job.app, job.params)
+        return {
+            "kind": "application",
+            "ticks": run.ticks,
+            "operations": run.operations,
+        }
+    result = run_microbench(job.config, job.spec, job.window)
+    stats = result.stats
+    return {
+        "kind": "microbench",
+        "work_ipc": stats.work_ipc,
+        "accesses": stats.accesses,
+        "ticks": stats.ticks,
+        "work_instructions": stats.work_instructions,
+        "cycles": stats.cycles,
+    }
+
+
+class ResultCache:
+    """Content-addressed on-disk cache: one JSON file per job key.
+
+    Layout: ``<root>/<sha256>.json`` holding the format tag, the key,
+    the salt, the canonical job description (for humans debugging a
+    cache), and the result payload.  Writes go through a temp file +
+    ``os.replace`` so readers never see a torn entry; every filesystem
+    error degrades to a cache miss -- the cache is best-effort, never
+    load-bearing for correctness.
+    """
+
+    FORMAT = "repro-sweep-cache-v1"
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        try:
+            with open(self.path(key)) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if entry.get("format") != self.FORMAT or entry.get("key") != key:
+            return None
+        result = entry.get("result")
+        return result if isinstance(result, dict) else None
+
+    def store(self, key: str, job: SweepJob, salt: str, result: dict) -> None:
+        entry = {
+            "format": self.FORMAT,
+            "key": key,
+            "model_version": salt,
+            "job": to_jsonable(
+                {
+                    "kind": job.kind,
+                    "config": job.config,
+                    "spec": job.spec,
+                    "window": job.window,
+                    "app": job.app,
+                    "params": job.params,
+                }
+            ),
+            "result": result,
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self.path(key).with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, self.path(key))
+        except OSError:
+            pass
+
+
+class SweepEngine:
+    """Executes sweeps on a worker pool, memoizing results on disk.
+
+    ``jobs`` is the worker-process count (1 = in-process, serial).
+    ``timeout_s`` bounds each wait on a pool result; a timeout or a
+    worker exception is retried up to ``retries`` times through the
+    pool and then falls back to in-process execution, so one bad
+    worker can never lose a sweep.  Outcomes are always returned in
+    submission order -- results are deterministic for any ``jobs``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Union[str, os.PathLike, None] = ".repro_cache",
+        use_cache: bool = True,
+        salt: str = MODEL_VERSION,
+        timeout_s: float = 900.0,
+        retries: int = 1,
+        probes: Optional[ProbeSet] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigError("the sweep engine needs at least one worker")
+        if retries < 0:
+            raise ConfigError("retries cannot be negative")
+        self.jobs = jobs
+        self.salt = str(salt)
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.probes = probes if probes is not None else ProbeSet()
+        self.cache = (
+            ResultCache(cache_dir) if use_cache and cache_dir else None
+        )
+        #: Summary of the most recent :meth:`run` (see below).
+        self.last_stats: dict = {}
+
+    @classmethod
+    def from_env(cls, environ: Optional[dict] = None) -> "SweepEngine":
+        """Engine configured from ``REPRO_SWEEP_JOBS`` (worker count),
+        ``REPRO_CACHE_DIR`` (cache root) and ``REPRO_NO_CACHE``
+        (any non-empty value disables the on-disk cache)."""
+        env = os.environ if environ is None else environ
+        return cls(
+            jobs=int(env.get("REPRO_SWEEP_JOBS", "1") or "1"),
+            cache_dir=env.get("REPRO_CACHE_DIR", ".repro_cache"),
+            use_cache=not env.get("REPRO_NO_CACHE"),
+        )
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self, sweep: Union[SweepSpec, Iterable[SweepJob]]
+    ) -> list[JobOutcome]:
+        """Execute ``sweep``; outcomes are in submission order."""
+        if isinstance(sweep, SweepSpec):
+            name, jobs = sweep.name, list(sweep.jobs)
+        else:
+            name, jobs = "sweep", list(sweep)
+        started = time.perf_counter()
+        keys = [job_digest(job, self.salt) for job in jobs]
+
+        # Key-level dedup: identical jobs (shared baselines, repeated
+        # grid points) simulate at most once per sweep.
+        unique: dict[str, SweepJob] = {}
+        for key, job in zip(keys, jobs):
+            unique.setdefault(key, job)
+
+        results: dict[str, dict] = {}
+        served_from_cache: set[str] = set()
+        pending: list[tuple[str, SweepJob]] = []
+        for key, job in unique.items():
+            hit = self.cache.load(key) if self.cache else None
+            if hit is not None:
+                self.probes.counter("sweep-cache-hit").add()
+                results[key] = hit
+                served_from_cache.add(key)
+            else:
+                self.probes.counter("sweep-cache-miss").add()
+                pending.append((key, job))
+
+        executed, retries, fallbacks = self._execute(pending)
+        for key, job in pending:
+            results[key] = executed[key]
+            if self.cache:
+                self.cache.store(key, job, self.salt, executed[key])
+
+        self.probes.counter("sweep-jobs").add(len(jobs))
+        self.probes.counter("sweep-sim").add(len(pending))
+        self.last_stats = {
+            "name": name,
+            "jobs": len(jobs),
+            "unique": len(unique),
+            "cache_hits": len(served_from_cache),
+            "cache_misses": len(pending),
+            "simulated": len(pending),
+            "retries": retries,
+            "fallbacks": fallbacks,
+            "workers": self.jobs,
+            "wall_s": time.perf_counter() - started,
+        }
+        return [
+            JobOutcome(
+                job=job,
+                key=key,
+                payload=results[key],
+                cached=key in served_from_cache,
+            )
+            for job, key in zip(jobs, keys)
+        ]
+
+    def stats(self) -> dict:
+        """Cumulative engine counters (across every ``run``)."""
+        counter = self.probes.counter
+        return {
+            "jobs": counter("sweep-jobs").total,
+            "simulated": counter("sweep-sim").total,
+            "cache_hits": counter("sweep-cache-hit").total,
+            "cache_misses": counter("sweep-cache-miss").total,
+            "retries": counter("sweep-retry").total,
+            "fallbacks": counter("sweep-fallback").total,
+        }
+
+    def _execute(
+        self, pending: list[tuple[str, SweepJob]]
+    ) -> tuple[dict[str, dict], int, int]:
+        results: dict[str, dict] = {}
+        retries = fallbacks = 0
+        wall = self.probes.latency("sweep-job-wall-ns")
+        if self.jobs > 1 and len(pending) > 1:
+            pool = self._make_pool(min(self.jobs, len(pending)))
+            if pool is not None:
+                try:
+                    tickets = [
+                        (key, job, pool.apply_async(_execute_job, (job,)),
+                         time.perf_counter())
+                        for key, job in pending
+                    ]
+                    for key, job, ticket, t0 in tickets:
+                        payload = None
+                        attempts = 0
+                        while payload is None:
+                            try:
+                                payload = ticket.get(self.timeout_s)
+                            except Exception:
+                                if attempts < self.retries:
+                                    attempts += 1
+                                    retries += 1
+                                    self.probes.counter("sweep-retry").add()
+                                    ticket = pool.apply_async(
+                                        _execute_job, (job,)
+                                    )
+                                else:
+                                    fallbacks += 1
+                                    self.probes.counter("sweep-fallback").add()
+                                    payload = _execute_job(job)
+                        wall.record(int((time.perf_counter() - t0) * 1e9))
+                        results[key] = payload
+                finally:
+                    pool.terminate()
+                    pool.join()
+                return results, retries, fallbacks
+        for key, job in pending:
+            t0 = time.perf_counter()
+            results[key] = _execute_job(job)
+            wall.record(int((time.perf_counter() - t0) * 1e9))
+        return results, retries, fallbacks
+
+    @staticmethod
+    def _make_pool(processes: int):
+        """A fork-based pool where available (cheap, inherits the
+        loaded model), else spawn; None if no pool can be created
+        (the caller then runs everything in-process)."""
+        try:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            context = multiprocessing.get_context(method)
+            return context.Pool(processes=processes)
+        except (OSError, ValueError):  # pragma: no cover - platform quirk
+            return None

@@ -57,6 +57,47 @@ def test_baseline_cache_reuses_runs():
     assert third is not first  # different work-count, different baseline
 
 
+def test_baseline_cache_distinguishes_lines_per_thread():
+    """Regression: the memo key once dropped lines_per_thread, so a
+    working-set sweep normalized against the wrong DRAM baseline."""
+    cache = BaselineCache()
+    config = SystemConfig(mechanism=AccessMechanism.PREFETCH)
+    tiny = MeasureWindow(warmup_us=2.0, measure_us=8.0)
+    small = cache.get(
+        config, MicrobenchSpec(work_count=50, lines_per_thread=64), tiny
+    )
+    large = cache.get(
+        config, MicrobenchSpec(work_count=50, lines_per_thread=2048), tiny
+    )
+    assert small is not large
+    assert small.spec.lines_per_thread == 64
+    assert large.spec.lines_per_thread == 2048
+    # The distinction matters: 64 lines live in the L1, 2048 thrash it.
+    assert small.work_ipc != large.work_ipc
+
+
+def test_zero_ipc_baseline_raises_simulation_error(monkeypatch):
+    from repro.errors import SimulationError
+    from repro.harness import experiment
+
+    class _Dead:
+        work_ipc = 0.0
+
+    monkeypatch.setattr(
+        experiment, "run_microbench",
+        lambda config, spec, window, platform=None: _Dead(),
+    )
+    config = SystemConfig(mechanism=AccessMechanism.ON_DEMAND)
+    with pytest.raises(SimulationError) as excinfo:
+        experiment.normalized_microbench(
+            config, MicrobenchSpec(work_count=7), WINDOW
+        )
+    message = str(excinfo.value)
+    assert "zero work IPC" in message
+    assert config.describe() in message
+    assert "work_count=7" in message
+
+
 def test_baseline_matches_mlp():
     cache = BaselineCache()
     config = SystemConfig(mechanism=AccessMechanism.PREFETCH)

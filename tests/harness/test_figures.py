@@ -1,0 +1,53 @@
+"""Unit tests for figure containers (Series / FigureResult)."""
+
+import pytest
+
+from repro.harness.figures import FigureResult, Series
+
+
+def test_y_at_exact_integer_x():
+    series = Series("threads")
+    series.add(1, 0.1)
+    series.add(2, 0.2)
+    assert series.y_at(2) == 0.2
+
+
+def test_y_at_tolerates_float_representation_error():
+    """Regression: `==` on float x-coordinates silently missed points
+    (0.1 + 0.2 != 0.3); latency-valued axes need tolerant lookup."""
+    series = Series("latency-us")
+    series.add(0.1 + 0.2, 1.5)
+    assert (0.1 + 0.2) != 0.3
+    assert series.y_at(0.3) == 1.5
+    assert series.y_at(0.1 + 0.2) == 1.5
+
+
+def test_y_at_missing_point_still_raises():
+    series = Series("threads")
+    series.add(1.0, 0.1)
+    with pytest.raises(KeyError):
+        series.y_at(2.0)
+
+
+def test_y_at_does_not_match_distinct_close_points():
+    series = Series("work")
+    series.add(100.0, 0.4)
+    series.add(101.0, 0.5)
+    assert series.y_at(100.0) == 0.4
+    assert series.y_at(101.0) == 0.5
+
+
+def test_series_peak_and_ys():
+    series = Series("line")
+    series.add(1, 0.25)
+    series.add(2, 0.75)
+    assert series.ys() == [0.25, 0.75]
+    assert series.peak() == 0.75
+
+
+def test_figure_result_lookup():
+    figure = FigureResult("figX", "title", "x", "y")
+    line = figure.new_series("1us")
+    assert figure.get("1us") is line
+    with pytest.raises(KeyError):
+        figure.get("2us")

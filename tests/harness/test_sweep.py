@@ -1,0 +1,275 @@
+"""Unit tests for the parallel sweep engine and its result cache."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.config import AccessMechanism, DeviceConfig, SystemConfig
+from repro.errors import ConfigError, SimulationError
+from repro.harness import figures
+from repro.harness import sweep as sweep_mod
+from repro.harness.experiment import MeasureWindow, normalized_microbench
+from repro.harness.figures import Series
+from repro.harness.sweep import (
+    MODEL_VERSION,
+    ResultCache,
+    SweepEngine,
+    SweepJob,
+    SweepSpec,
+    baseline_job,
+    job_digest,
+)
+from repro.workloads.microbench import MicrobenchSpec
+
+#: Small enough that one job simulates in ~10 ms.
+TINY = MeasureWindow(warmup_us=2.0, measure_us=8.0)
+
+
+def _job(threads=2, work=50, latency_us=1.0, **spec_kwargs) -> SweepJob:
+    return SweepJob(
+        config=SystemConfig(
+            mechanism=AccessMechanism.PREFETCH,
+            threads_per_core=threads,
+            device=DeviceConfig(total_latency_us=latency_us),
+        ),
+        spec=MicrobenchSpec(work_count=work, **spec_kwargs),
+        window=TINY,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Job validation and cache keys
+# ---------------------------------------------------------------------------
+
+def test_microbench_job_requires_spec():
+    with pytest.raises(ConfigError):
+        SweepJob(config=SystemConfig())
+
+
+def test_application_job_takes_no_spec():
+    with pytest.raises(ConfigError):
+        SweepJob(
+            config=SystemConfig(),
+            app="bloom",
+            spec=MicrobenchSpec(work_count=10),
+        )
+
+
+def test_job_digest_is_stable_and_input_sensitive():
+    assert job_digest(_job()) == job_digest(_job())
+    assert job_digest(_job()) != job_digest(_job(work=51))
+    assert job_digest(_job()) != job_digest(_job(threads=3))
+    # The working-set size is part of the identity (the baseline-cache
+    # bug this PR fixes was exactly this field going missing).
+    assert job_digest(_job()) != job_digest(_job(lines_per_thread=2048))
+
+
+def test_job_digest_salt_and_label():
+    assert job_digest(_job(), salt="a") != job_digest(_job(), salt="b")
+    tagged = SweepJob(
+        config=_job().config, spec=_job().spec, window=TINY, label=("fig3", 2)
+    )
+    assert job_digest(tagged) == job_digest(_job())  # label is bookkeeping
+
+
+def test_baseline_job_keeps_consumed_spec_fields():
+    job = _job(
+        threads=8, work=120, latency_us=4.0,
+        reads_per_batch=2, lines_per_thread=512,
+    )
+    base = baseline_job(job)
+    assert base.config.cores == 1
+    assert base.config.threads_per_core == 1
+    assert base.config.mechanism is AccessMechanism.ON_DEMAND
+    assert base.spec.work_count == 120
+    assert base.spec.reads_per_batch == 2
+    assert base.spec.lines_per_thread == 512
+
+
+def test_baseline_job_is_device_latency_independent():
+    # The DRAM baseline never touches the device, so a latency sweep
+    # must share one baseline run instead of simulating three.
+    keys = {
+        job_digest(baseline_job(_job(latency_us=latency)))
+        for latency in (1.0, 2.0, 4.0)
+    }
+    assert len(keys) == 1
+
+
+# ---------------------------------------------------------------------------
+# Execution: determinism, dedup, ordering
+# ---------------------------------------------------------------------------
+
+def test_serial_and_parallel_results_are_identical():
+    jobs = [_job(threads=threads) for threads in (1, 2, 3, 4, 5)]
+    serial = SweepEngine(jobs=1, use_cache=False).run(SweepSpec("s", jobs))
+    parallel = SweepEngine(jobs=4, use_cache=False).run(SweepSpec("p", jobs))
+    assert [o.payload for o in serial] == [o.payload for o in parallel]
+    # Outcomes come back in submission order, not completion order.
+    assert [o.job for o in serial] == jobs
+    assert [o.job for o in parallel] == jobs
+
+
+def test_identical_jobs_simulate_once():
+    engine = SweepEngine(jobs=1, use_cache=False)
+    outcomes = engine.run([_job(), _job(), _job()])
+    assert engine.last_stats["jobs"] == 3
+    assert engine.last_stats["unique"] == 1
+    assert engine.last_stats["simulated"] == 1
+    assert outcomes[0].payload == outcomes[1].payload == outcomes[2].payload
+
+
+def test_engine_counters_accumulate(tmp_path):
+    engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+    engine.run([_job()])
+    engine.run([_job()])
+    stats = engine.stats()
+    assert stats["jobs"] == 2
+    assert stats["simulated"] == 1
+    assert stats["cache_hits"] == 1
+    assert stats["cache_misses"] == 1
+    assert engine.probes.latency("sweep-job-wall-ns").count == 1
+
+
+# ---------------------------------------------------------------------------
+# On-disk cache
+# ---------------------------------------------------------------------------
+
+def test_cache_hit_after_miss(tmp_path):
+    jobs = [_job(threads=threads) for threads in (1, 2)]
+    cold = SweepEngine(jobs=1, cache_dir=tmp_path)
+    first = cold.run(jobs)
+    assert cold.last_stats == dict(
+        cold.last_stats, cache_hits=0, cache_misses=2, simulated=2
+    )
+    assert not any(outcome.cached for outcome in first)
+
+    warm = SweepEngine(jobs=1, cache_dir=tmp_path)
+    second = warm.run(jobs)
+    assert warm.last_stats["cache_hits"] == 2
+    assert warm.last_stats["simulated"] == 0
+    assert all(outcome.cached for outcome in second)
+    assert [o.payload for o in first] == [o.payload for o in second]
+
+
+def test_cache_invalidated_by_model_version_salt(tmp_path):
+    job = _job()
+    SweepEngine(jobs=1, cache_dir=tmp_path, salt="model-v1").run([job])
+    bumped = SweepEngine(jobs=1, cache_dir=tmp_path, salt="model-v2")
+    bumped.run([job])
+    assert bumped.last_stats["cache_misses"] == 1
+    assert bumped.last_stats["simulated"] == 1
+    unchanged = SweepEngine(jobs=1, cache_dir=tmp_path, salt="model-v1")
+    unchanged.run([job])
+    assert unchanged.last_stats["cache_hits"] == 1
+
+
+def test_corrupt_cache_entry_degrades_to_miss(tmp_path):
+    job = _job()
+    engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+    outcome = engine.run([job])[0]
+    engine.cache.path(outcome.key).write_text("{not json")
+    rerun = SweepEngine(jobs=1, cache_dir=tmp_path)
+    again = rerun.run([job])[0]
+    assert rerun.last_stats["simulated"] == 1
+    assert again.payload == outcome.payload
+
+
+def test_cache_entry_is_selfdescribing(tmp_path):
+    job = _job(work=77)
+    engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+    outcome = engine.run([job])[0]
+    entry = json.loads(engine.cache.path(outcome.key).read_text())
+    assert entry["format"] == ResultCache.FORMAT
+    assert entry["key"] == outcome.key
+    assert entry["model_version"] == MODEL_VERSION
+    assert entry["job"]["spec"]["work_count"] == 77
+    assert entry["result"] == outcome.payload
+
+
+def test_no_cache_engine_never_touches_disk(tmp_path):
+    engine = SweepEngine(jobs=1, cache_dir=tmp_path, use_cache=False)
+    engine.run([_job()])
+    assert engine.cache is None
+    assert list(tmp_path.iterdir()) == []
+
+
+# ---------------------------------------------------------------------------
+# Worker failure, timeout, fallback
+# ---------------------------------------------------------------------------
+
+_REAL_EXECUTE = sweep_mod._execute_job
+
+
+def _fail_in_worker(job):
+    """Raises inside pool workers, behaves normally in the parent."""
+    if multiprocessing.current_process().name != "MainProcess":
+        raise RuntimeError("injected worker failure")
+    return _REAL_EXECUTE(job)
+
+
+def test_worker_failure_falls_back_in_process(monkeypatch):
+    monkeypatch.setattr(sweep_mod, "_execute_job", _fail_in_worker)
+    jobs = [_job(threads=threads) for threads in (1, 2)]
+    engine = SweepEngine(jobs=2, use_cache=False, retries=1, timeout_s=60.0)
+    outcomes = engine.run(jobs)
+    assert engine.last_stats["fallbacks"] == 2
+    assert engine.last_stats["retries"] == 2
+    reference = SweepEngine(jobs=1, use_cache=False).run(jobs)
+    assert [o.payload for o in outcomes] == [o.payload for o in reference]
+
+
+def test_timeout_falls_back_in_process():
+    jobs = [_job(threads=threads) for threads in (1, 2)]
+    engine = SweepEngine(jobs=2, use_cache=False, retries=0, timeout_s=1e-6)
+    outcomes = engine.run(jobs)
+    assert engine.last_stats["fallbacks"] == 2
+    reference = SweepEngine(jobs=1, use_cache=False).run(jobs)
+    assert [o.payload for o in outcomes] == [o.payload for o in reference]
+
+
+# ---------------------------------------------------------------------------
+# Normalization through the figure helpers
+# ---------------------------------------------------------------------------
+
+def test_sweep_normalization_matches_direct_path():
+    job = _job(threads=4, work=80)
+    line = Series("check")
+    figures._run_normalized_microbench(
+        "mini", [(line, 4, job)], SweepEngine(jobs=1, use_cache=False)
+    )
+    direct, _ = normalized_microbench(job.config, job.spec, TINY)
+    assert line.y_at(4) == direct
+
+
+def test_zero_ipc_baseline_raises_simulation_error_in_sweep():
+    job = SweepJob(
+        config=SystemConfig(mechanism=AccessMechanism.ON_DEMAND),
+        spec=MicrobenchSpec(work_count=0),
+        window=TINY,
+    )
+    line = Series("zero")
+    with pytest.raises(SimulationError, match="zero work IPC"):
+        figures._run_normalized_microbench(
+            "zero", [(line, 1, job)], SweepEngine(jobs=1, use_cache=False)
+        )
+
+
+def test_engine_rejects_bad_configuration():
+    with pytest.raises(ConfigError):
+        SweepEngine(jobs=0)
+    with pytest.raises(ConfigError):
+        SweepEngine(retries=-1)
+
+
+def test_from_env_reads_environment():
+    engine = SweepEngine.from_env(
+        {"REPRO_SWEEP_JOBS": "3", "REPRO_CACHE_DIR": "/tmp/x",
+         "REPRO_NO_CACHE": "1"}
+    )
+    assert engine.jobs == 3
+    assert engine.cache is None
+    cached = SweepEngine.from_env({"REPRO_CACHE_DIR": "/tmp/x"})
+    assert cached.jobs == 1
+    assert str(cached.cache.root) == "/tmp/x"

@@ -74,6 +74,36 @@ def test_figure_command_with_csv(tmp_path):
     assert csv_path.read_text().startswith("figure,series,x,y")
 
 
+def test_sweep_command_cold_then_warm_cache(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    code, text = run_cli(
+        "sweep", "fig3", "--scale", "quick", "--jobs", "2",
+        "--cache-dir", cache_dir,
+    )
+    assert code == 0
+    assert "fig3" in text
+    assert "0 hits" in text
+    assert "workers       : 2" in text
+    code, warm = run_cli(
+        "sweep", "fig3", "--scale", "quick", "--jobs", "2",
+        "--cache-dir", cache_dir,
+    )
+    assert code == 0
+    assert "0 misses" in warm
+    assert "simulated     : 0 jobs" in warm
+
+
+def test_figure_command_no_cache_flag(tmp_path):
+    cache_dir = tmp_path / "cache"
+    code, text = run_cli(
+        "figure", "fig3", "--scale", "quick", "--no-cache",
+        "--cache-dir", str(cache_dir),
+    )
+    assert code == 0
+    assert "fig3" in text
+    assert not cache_dir.exists()  # --no-cache wins over --cache-dir
+
+
 def test_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["figure", "fig99"])
