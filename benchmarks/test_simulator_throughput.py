@@ -8,16 +8,23 @@ use pytest-benchmark's normal timing loop; the sweep checks time two
 explicit runs because their contract is about the *second* run.
 """
 
+import json
+import os
+import pathlib
 import time
 
 from repro.config import AccessMechanism, DeviceConfig, SystemConfig
 from repro.harness.experiment import MeasureWindow, run_microbench
 from repro.harness.figures import fig3
 from repro.harness.sweep import SweepEngine
-from repro.sim import Simulator, Store
+from repro.sim import Simulator, Store, collect_kernel_stats
+from repro.sim import _reference
 from repro.workloads.microbench import MicrobenchSpec
 
 WINDOW = MeasureWindow(warmup_us=10.0, measure_us=40.0)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = pathlib.Path(__file__).parent / "kernel_baseline.json"
 
 
 def _series(figure):
@@ -61,29 +68,117 @@ def test_sweep_warm_cache_runs_zero_simulations(tmp_path):
     assert warm_s < cold_s / 5
 
 
+def _event_loop(simulator_cls, store_cls, items=10_000):
+    """The canonical kernel workload: a producer/consumer pair
+    exchanging ``items`` values through a bounded Store."""
+    sim = simulator_cls()
+    store = store_cls(sim, capacity=16)
+
+    def producer():
+        for i in range(items):
+            yield store.put(i)
+
+    def consumer():
+        total = 0
+        for _ in range(items):
+            total += yield store.get()
+        return total
+
+    sim.process(producer())
+    done = sim.process(consumer())
+    return sim.run(done)
+
+
+def _paired_speedup(fn_ref, fn_new, repeats=15):
+    """Speedup of ``fn_new`` over ``fn_ref``, robust to frequency drift.
+
+    The reps alternate ref/new so clock-speed drift hits both sides of
+    each pair equally, and the estimate is the *median of per-pair
+    ratios* -- a single slow outlier rep cannot move it the way it
+    moves a best-of-N comparison.  Returns (speedup, best_ref, best_new).
+    """
+    import statistics
+
+    ratios = []
+    best_ref = best_new = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn_ref()
+        ref_s = time.perf_counter() - started
+        started = time.perf_counter()
+        fn_new()
+        new_s = time.perf_counter() - started
+        ratios.append(ref_s / new_s)
+        best_ref = min(best_ref, ref_s)
+        best_new = min(best_new, new_s)
+    return statistics.median(ratios), best_ref, best_new
+
+
 def test_event_loop_throughput(benchmark):
     """Raw kernel: a producer/consumer pair exchanging 10k items."""
-
-    def run():
-        sim = Simulator()
-        store = Store(sim, capacity=16)
-
-        def producer():
-            for i in range(10_000):
-                yield store.put(i)
-
-        def consumer():
-            total = 0
-            for _ in range(10_000):
-                total += yield store.get()
-            return total
-
-        sim.process(producer())
-        done = sim.process(consumer())
-        return sim.run(done)
-
-    result = benchmark(run)
+    result = benchmark(lambda: _event_loop(Simulator, Store))
     assert result == sum(range(10_000))
+
+
+def test_kernel_speedup_vs_reference_writes_bench_json():
+    """Acceptance: the fast-path kernel sustains >=2x the events/sec of
+    the frozen pre-optimization kernel (``repro.sim._reference``).
+
+    Both kernels run the identical workload back to back on the same
+    machine, so the ratio is immune to the CPU-frequency drift that
+    makes absolute wall times incomparable across runs.  The outcome is
+    written to ``benchmarks/results/BENCH_kernel.json`` so the perf
+    trajectory is tracked PR-over-PR; CI compares it against the
+    committed ``benchmarks/kernel_baseline.json``.
+    """
+    run_new = lambda: _event_loop(Simulator, Store)
+    run_ref = lambda: _event_loop(_reference.Simulator, _reference.Store)
+    # Warm both code paths before timing.
+    assert run_new() == run_ref() == sum(range(10_000))
+
+    speedup, ref_wall, new_wall = _paired_speedup(run_ref, run_new)
+    with collect_kernel_stats() as kernel:
+        _event_loop(Simulator, Store)
+    stats = kernel.stats()
+    events = stats["events_fired"]
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    payload = {
+        "schema": "repro-kernel-bench-v1",
+        "workload": "event_loop (producer/consumer, 10k items, Store cap 16)",
+        "reference": {
+            "wall_s": ref_wall,
+            "events_per_sec": events / ref_wall,
+        },
+        "current": {
+            "wall_s": new_wall,
+            "events_per_sec": events / new_wall,
+            "events_fired": events,
+            "heap_pushes": stats["heap_pushes"],
+            "heap_pops": stats["heap_pops"],
+            "runq_bypasses": stats["runq_bypasses"],
+            "bypass_ratio": kernel.bypass_ratio,
+        },
+        "speedup_vs_reference": speedup,
+        "speedup_estimator": "median of per-pair wall ratios (15 pairs)",
+        "baseline_speedup_vs_reference": baseline["speedup_vs_reference"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_kernel.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # Soft floor everywhere (noise-proof); the full gate -- >=2x over the
+    # reference and within 30% of the committed baseline's events/sec
+    # ratio -- is enforced where timing is controlled (CI sets
+    # REPRO_KERNEL_BENCH_ENFORCE=1).
+    assert speedup >= 1.3, f"kernel speedup collapsed: {speedup:.2f}x"
+    if os.environ.get("REPRO_KERNEL_BENCH_ENFORCE"):
+        floor = max(2.0, 0.7 * baseline["speedup_vs_reference"])
+        assert speedup >= floor, (
+            f"events/sec regression: {speedup:.2f}x vs reference, floor "
+            f"{floor:.2f}x (baseline {baseline['speedup_vs_reference']:.2f}x)"
+        )
 
 
 def test_prefetch_system_throughput(benchmark):

@@ -49,20 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser(
         "run", help="run one microbenchmark configuration"
     )
-    run.add_argument("--mechanism", choices=sorted(_MECHANISMS), default="prefetch")
-    run.add_argument("--threads", type=int, default=10, help="threads per core")
-    run.add_argument("--cores", type=int, default=1)
-    run.add_argument("--latency-us", type=float, default=1.0)
-    run.add_argument("--work", type=int, default=200, help="work instructions per access")
-    run.add_argument("--mlp", type=int, default=1, help="reads per batch (1/2/4)")
-    run.add_argument("--writes", type=int, default=0, help="posted writes per batch")
-    run.add_argument("--lfb", type=int, default=10, help="line-fill buffers per core")
-    run.add_argument("--chip-queue", type=int, default=14,
-                     help="shared chip-level queue entries (PCIe path)")
-    run.add_argument("--smt", type=int, default=1, choices=(1, 2, 4))
-    run.add_argument("--attachment", choices=sorted(_ATTACHMENTS), default="pcie")
-    run.add_argument("--warmup-us", type=float, default=30.0)
-    run.add_argument("--measure-us", type=float, default=100.0)
+    _add_run_flags(run)
 
     figure = commands.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=sorted(ALL_FIGURES))
@@ -93,9 +80,45 @@ def build_parser() -> argparse.ArgumentParser:
     app.add_argument("--cores", type=int, default=1)
     app.add_argument("--latency-us", type=float, default=1.0)
 
+    profile = commands.add_parser(
+        "profile",
+        help="run a figure or microbench under cProfile and report "
+             "kernel counters (events fired, bypass ratio, events/sec)",
+    )
+    profile.add_argument(
+        "target", choices=sorted(ALL_FIGURES) + ["microbench"],
+        help="a figure name, or 'microbench' for one configuration",
+    )
+    profile.add_argument("--scale", choices=("quick", "full"), default="quick",
+                         help="figure grid resolution (figure targets only)")
+    profile.add_argument("--top", type=int, default=15, metavar="N",
+                         help="profile rows to print (default 15)")
+    profile.add_argument("--sort", choices=("tottime", "cumulative"),
+                         default="tottime", help="pstats sort key")
+    _add_run_flags(profile)
+
     commands.add_parser("list", help="list figures and applications")
     commands.add_parser("table1", help="print the paper's Table I taxonomy")
     return parser
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    """Microbench-configuration flags shared by ``run`` and ``profile``."""
+    parser.add_argument("--mechanism", choices=sorted(_MECHANISMS), default="prefetch")
+    parser.add_argument("--threads", type=int, default=10, help="threads per core")
+    parser.add_argument("--cores", type=int, default=1)
+    parser.add_argument("--latency-us", type=float, default=1.0)
+    parser.add_argument("--work", type=int, default=200,
+                        help="work instructions per access")
+    parser.add_argument("--mlp", type=int, default=1, help="reads per batch (1/2/4)")
+    parser.add_argument("--writes", type=int, default=0, help="posted writes per batch")
+    parser.add_argument("--lfb", type=int, default=10, help="line-fill buffers per core")
+    parser.add_argument("--chip-queue", type=int, default=14,
+                        help="shared chip-level queue entries (PCIe path)")
+    parser.add_argument("--smt", type=int, default=1, choices=(1, 2, 4))
+    parser.add_argument("--attachment", choices=sorted(_ATTACHMENTS), default="pcie")
+    parser.add_argument("--warmup-us", type=float, default=30.0)
+    parser.add_argument("--measure-us", type=float, default=100.0)
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -232,6 +255,65 @@ def _command_app(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_profile(args: argparse.Namespace, out) -> int:
+    import cProfile
+    import pstats
+
+    from repro.sim import collect_kernel_stats
+
+    if args.target == "microbench":
+        from repro.harness.experiment import run_microbench
+
+        config = _system_config(args)
+        spec = MicrobenchSpec(
+            work_count=args.work,
+            reads_per_batch=args.mlp,
+            writes_per_batch=args.writes,
+        )
+        window = MeasureWindow(
+            warmup_us=args.warmup_us, measure_us=args.measure_us
+        )
+        label = f"microbench: {config.describe()}"
+
+        def workload():
+            run_microbench(config, spec, window)
+    else:
+        # jobs=1 + no cache keeps every simulation in this process, where
+        # the profiler and the stats collector can see it.
+        engine = SweepEngine(jobs=1, use_cache=False)
+        label = f"{args.target} --scale {args.scale}"
+
+        def workload():
+            ALL_FIGURES[args.target](args.scale, engine=engine)
+
+    profiler = cProfile.Profile()
+    with collect_kernel_stats() as kernel:
+        started = time.perf_counter()
+        profiler.enable()
+        workload()
+        profiler.disable()
+        wall = time.perf_counter() - started
+
+    stats = kernel.stats()
+    events_per_sec = stats["events_fired"] / wall if wall > 0 else 0.0
+    print(f"profiled      : {label}", file=out)
+    print(f"simulators    : {stats['simulators']}", file=out)
+    print(f"wall time     : {wall:.3f} s", file=out)
+    print(f"events fired  : {stats['events_fired']}", file=out)
+    print(f"heap ops      : {stats['heap_pushes']} pushes, "
+          f"{stats['heap_pops']} pops", file=out)
+    print(f"runq bypasses : {stats['runq_bypasses']} "
+          f"(bypass ratio {kernel.bypass_ratio:.3f})", file=out)
+    print(f"resumes       : {stats['process_resumes']} "
+          f"({stats['processes_spawned']} processes spawned)", file=out)
+    print(f"events/sec    : {events_per_sec:,.0f}", file=out)
+    print(file=out)
+    pstats.Stats(profiler, stream=out).strip_dirs().sort_stats(
+        args.sort
+    ).print_stats(args.top)
+    return 0
+
+
 def _command_list(out) -> int:
     print("figures:", file=out)
     for name in sorted(ALL_FIGURES):
@@ -255,6 +337,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _command_sweep(args, out)
         if args.command == "app":
             return _command_app(args, out)
+        if args.command == "profile":
+            return _command_profile(args, out)
         if args.command == "list":
             return _command_list(out)
         if args.command == "table1":

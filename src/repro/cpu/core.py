@@ -120,10 +120,20 @@ class OutOfOrderCore:
             yield self.sim.timeout(ticks)
             return
         grant = self._front_end.acquire()
-        if not grant.fired:
-            yield grant
-        yield self.sim.timeout(ticks)
-        self._front_end.release()
+        try:
+            if not grant.fired:
+                yield grant
+            yield self.sim.timeout(ticks)
+        finally:
+            # An exception thrown into the owning process while it sits
+            # on the dispatch timeout must not strand the front end --
+            # the SMT sibling would deadlock waiting for a slot that is
+            # never released.  The slot is ours once the grant has
+            # *triggered* (an uncontended acquire grants immediately,
+            # before the event fires); an exception while still queued
+            # for a contended front end owns nothing to release.
+            if grant.triggered:
+                self._front_end.release()
 
     # -- primitives (front-end generators) ------------------------------------
 

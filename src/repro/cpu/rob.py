@@ -12,7 +12,6 @@ slots hostage.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Callable, Deque, Generator, Optional
 
 from repro.errors import SimulationError
@@ -20,12 +19,9 @@ from repro.sim import Event, Simulator, Store
 
 __all__ = ["ReorderBuffer"]
 
-
-@dataclass
-class _RobEntry:
-    slots: int
-    done: Event
-    on_retire: Optional[Callable[[], None]] = None
+# Retirement FIFO entries are plain ``(slots, done, on_retire)`` tuples;
+# a group is committed for every dispatched chunk, so the entry type is
+# on the kernel's hot path and must not cost a class instance.
 
 
 class ReorderBuffer:
@@ -82,19 +78,19 @@ class ReorderBuffer:
         on_retire: Optional[Callable[[], None]] = None,
     ) -> None:
         """Enter an allocated group into the retirement FIFO."""
-        self._entries.put(_RobEntry(slots, done, on_retire))
+        self._entries.put((slots, done, on_retire))
 
     def _retire_loop(self):
         while True:
-            entry = yield self._entries.get()
-            if not entry.done.fired:
-                yield entry.done
-            self.free += entry.slots
+            slots, done, on_retire = yield self._entries.get()
+            if not done.fired:
+                yield done
+            self.free += slots
             if self.free > self.capacity:  # pragma: no cover - invariant
                 raise SimulationError(f"{self.name}: retired more than allocated")
             self.retired_groups += 1
-            if entry.on_retire is not None:
-                entry.on_retire()
+            if on_retire is not None:
+                on_retire()
             self._grant_waiters()
             if self.free == self.capacity and not self._waiters:
                 waiters, self._idle_waiters = self._idle_waiters, []

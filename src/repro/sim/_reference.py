@@ -1,0 +1,454 @@
+"""The pre-fast-path kernel, frozen as a behavioral reference.
+
+This is a verbatim copy of the discrete-event kernel *before* the
+same-tick run queue, lean events, and counter-based condition joins
+landed in :mod:`repro.sim.kernel`.  It is deliberately kept around for
+two jobs:
+
+* **differential testing** -- the property suite replays randomized
+  process graphs on both kernels and asserts bit-for-bit identical
+  traces (``tests/property/test_kernel_equivalence.py``);
+* **speedup measurement** -- ``benchmarks/test_simulator_throughput.py``
+  times the same workload on both kernels on the same machine, which
+  gives a machine-independent speedup ratio to gate CI on.
+
+It also carries a copy of the old :class:`Store` (the reference
+``Event`` class is incompatible with :mod:`repro.sim.resources`, which
+is bound to the production kernel).  Model code must never import this
+module; everything here schedules every event -- including the dominant
+zero-delay case -- through the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Event",
+    "Process",
+    "Simulator",
+    "Store",
+    "all_of",
+    "any_of",
+]
+
+#: Sentinel for "event has no value yet".
+_PENDING = object()
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling its callbacks to run at the current
+    simulation time.  Once triggered an event is immutable.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_scheduled")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has an outcome (value or exception).
+
+        Note that a :class:`Timeout` is triggered from birth -- its
+        outcome is predetermined.  Model code that needs "has this
+        already happened?" should use :attr:`fired`.
+        """
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def fired(self) -> bool:
+        """True once the event's callbacks have been processed.
+
+        This is the "it has happened in simulated time" predicate model
+        code should use (e.g. "is the prefetched line back yet?").
+        """
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises if pending or failed."""
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or None."""
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self._value = value
+        self.sim._schedule(self, delay=0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure ``exception``."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.sim._schedule(self, delay=0)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires.
+
+        If the event already fired and its callbacks were processed, the
+        callback runs immediately (still at the firing's logical time or
+        later -- the simulator clock only moves forward).
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires a fixed delay after its creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; fires (with its return value) on completion.
+
+    The generator must yield :class:`Event` instances.  When a yielded
+    event succeeds, the generator is resumed with the event's value; if
+    it fails, the exception is thrown into the generator.
+    """
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume the generator for the first time "now".
+        bootstrap = Event(sim)
+        bootstrap._value = None
+        bootstrap.callbacks = None  # already processed
+        sim._schedule_resume(self, bootstrap)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        sim = self.sim
+        while True:
+            try:
+                if event._exception is not None:
+                    target = self._generator.throw(event._exception)
+                else:
+                    target = self._generator.send(event._value)
+            except StopIteration as stop:
+                if not self.triggered:
+                    self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                if not self.callbacks:
+                    # Nobody is waiting on this process: escalate rather
+                    # than swallow the failure (a crashed model process
+                    # must crash the simulation).
+                    raise _annotate(exc, self.name)
+                self.fail(_annotate(exc, self.name))
+                return
+            if not isinstance(target, Event):
+                self.fail(
+                    SimulationError(
+                        f"process {self.name!r} yielded non-event: {target!r}"
+                    )
+                )
+                return
+            if target.sim is not sim:
+                self.fail(
+                    SimulationError(
+                        f"process {self.name!r} yielded an event of another simulator"
+                    )
+                )
+                return
+            if target.callbacks is None:
+                # Already fired and processed: loop and resume inline, at
+                # the current time, without a scheduler round-trip.
+                event = target
+                continue
+            target.add_callback(self._resume_callback)
+            return
+
+    def _resume_callback(self, event: Event) -> None:
+        self._resume(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} at t={self.sim.now}>"
+
+
+def _annotate(exc: BaseException, name: str) -> BaseException:
+    """Tag an escaping exception with the process it escaped from."""
+    note = f"(escaped from simulation process {name!r})"
+    try:
+        exc.add_note(note)
+    except AttributeError:  # pragma: no cover - pre-3.11 fallback
+        pass
+    return exc
+
+
+class _ConditionEvent(Event):
+    """Shared machinery for :func:`all_of` / :func:`any_of`."""
+
+    __slots__ = ("_pending", "_events", "_need_all")
+
+    def __init__(self, sim: "Simulator", events: list[Event], need_all: bool) -> None:
+        super().__init__(sim)
+        self._events = events
+        self._need_all = need_all
+        self._pending = 0
+        for ev in events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events of different simulators")
+        if not events:
+            self.succeed([])
+            return
+        for ev in events:
+            if ev.callbacks is None:
+                self._check(ev, fired_now=False)
+            else:
+                self._pending += 1
+                ev.add_callback(lambda e: self._check(e, fired_now=True))
+        if not self.triggered and self._need_all and self._pending == 0:
+            self.succeed([ev.value for ev in events])
+        if not self.triggered and not self._need_all:
+            for ev in events:
+                if ev.callbacks is None and ev.ok:
+                    self.succeed(ev.value)
+                    break
+
+    def _check(self, event: Event, fired_now: bool) -> None:
+        if fired_now:
+            self._pending -= 1
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        if self._need_all:
+            if self._pending == 0 and all(ev.triggered for ev in self._events):
+                self.succeed([ev.value for ev in self._events])
+        else:
+            self.succeed(event._value)
+
+
+def all_of(sim: "Simulator", events: Iterable[Event]) -> Event:
+    """An event firing when *all* of ``events`` succeed.
+
+    Its value is the list of individual event values (in input order).
+    Fails as soon as any constituent fails.
+    """
+    return _ConditionEvent(sim, list(events), need_all=True)
+
+
+def any_of(sim: "Simulator", events: Iterable[Event]) -> Event:
+    """An event firing when *any* of ``events`` succeeds.
+
+    Its value is the value of the first event to fire.  An empty input
+    succeeds immediately (vacuously) with ``[]``.
+    """
+    events = list(events)
+    if not events:
+        return _ConditionEvent(sim, [], need_all=True)
+    return _ConditionEvent(sim, events, need_all=False)
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of pending events."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq = 0
+        self._resume_heap_entries = 0
+
+    # -- event construction ------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event firing ``delay`` ticks from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a process running ``generator``; returns its completion event."""
+        return Process(self, generator, name=name)
+
+    def delayed(self, after: Event, delay: int) -> Event:
+        """An event firing ``delay`` ticks after ``after`` succeeds.
+
+        Used to model fixed-latency stages downstream of a variable-time
+        event (e.g. "execute for N cycles once the load data arrives").
+        """
+        result = Event(self)
+
+        def _chain(ev: Event) -> None:
+            if ev._exception is not None:
+                result.fail(ev._exception)
+            elif delay == 0:
+                result.succeed(ev._value)
+            else:
+                self._schedule_value(result, delay, ev._value)
+
+        after.add_callback(_chain)
+        return result
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _schedule(self, event: Event, delay: int) -> None:
+        if event._scheduled:
+            raise SimulationError("event scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def _schedule_value(self, event: Event, delay: int, value: Any) -> None:
+        """Trigger ``event`` with ``value`` after ``delay`` ticks."""
+        event._value = value
+        self._schedule(event, delay)
+
+    def _schedule_resume(self, process: Process, bootstrap: Event) -> None:
+        """Queue the very first resumption of a new process."""
+        wrapper = Event(self)
+        wrapper._value = None
+        wrapper.add_callback(lambda _ev: process._resume(bootstrap))
+        self._schedule(wrapper, delay=0)
+
+    # -- running -------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None``: run until no events remain.
+        * ``until=<int>``: run until the clock reaches that tick.
+        * ``until=<Event>``: run until that event fires; returns its
+          value (or raises its exception).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.triggered or stop_event.callbacks is not None:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event fired (deadlock?)"
+                    )
+                self.step()
+            return stop_event.value
+        if until is not None:
+            horizon = int(until)
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+            self.now = max(self.now, horizon)
+            return None
+        while self._heap:
+            self.step()
+        return None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued (scheduled, not yet fired)."""
+        return len(self._heap)
+
+
+class Store:
+    """Copy of the old FIFO store, bound to the reference kernel."""
+
+    def __init__(
+        self, sim: Simulator, capacity: Optional[int] = None, name: str = ""
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Event, Any]] = []
+        self.total_puts = 0
+        self.max_level = 0
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.sim)
+        self.total_puts += 1
+        if self._getters:
+            getter = self._getters.pop(0)
+            getter.succeed(item)
+            event.succeed(None)
+            return event
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            self.max_level = max(self.max_level, len(self._items))
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self._items:
+            item = self._items.pop(0)
+            self._admit_blocked_putter()
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def _admit_blocked_putter(self) -> None:
+        if self._putters:
+            putter, item = self._putters.pop(0)
+            self._items.append(item)
+            self.max_level = max(self.max_level, len(self._items))
+            putter.succeed(None)

@@ -8,20 +8,57 @@ Design points:
 
 * Time is an integer tick count (picoseconds by convention, see
   :mod:`repro.units`).  Events scheduled for the same tick fire in
-  schedule order (a monotonic sequence number breaks ties), which makes
-  every run bit-for-bit deterministic.
+  schedule order, which makes every run bit-for-bit deterministic.
+* Zero-delay scheduling -- ``succeed()``, satisfied resource grants,
+  store hand-offs, process bootstraps -- dominates every workload, so
+  it bypasses the heap entirely: a same-tick FIFO run queue holds those
+  events, and the heap only ever carries future ticks.  The tie-break
+  contract is unchanged (see "Ordering contract" below).
+* Events are lean: a lazy single-callback slot covers the overwhelmingly
+  common case (exactly one waiter -- the resuming process); a second
+  waiter spills into a lazily-created list.
 * An :class:`Event` may succeed with a value or fail with an exception;
   failures propagate into waiting processes via ``generator.throw``.
 * :class:`Process` is itself an event that fires when its generator
   returns, so processes can wait on each other and compose.
 * :func:`all_of` / :func:`any_of` build condition events for fork/join
-  patterns (used heavily by the MLP batching code).
+  patterns (used heavily by the MLP batching code).  ``all_of`` joins
+  count down a pending counter, so each constituent fire is O(1).
+
+Ordering contract
+-----------------
+
+The observable contract is exactly the old kernel's: **events fire in
+(tick, schedule-order)**, where schedule order is the global order of
+``_schedule`` calls.  The run queue preserves it because of an
+invariant: once the clock sits at tick ``T``, every heap entry with
+tick ``T`` was pushed *before* the clock reached ``T`` (a push at time
+``T`` either has ``delay == 0``, which goes to the run queue, or
+``delay > 0``, which lands strictly after ``T``).  Run-queue entries
+are only appended at time ``T``, hence always *younger* than every
+tick-``T`` heap entry.  So the loop drains heap entries due now first,
+then the run queue FIFO, then advances the clock -- identical to a
+single heap ordered by ``(tick, seq)``.  The frozen pre-fast-path
+kernel lives in :mod:`repro.sim._reference` and the property suite
+replays randomized process graphs on both to keep this honest.
+
+Observability
+-------------
+
+Each :class:`Simulator` counts events fired, heap pushes/pops,
+run-queue bypasses, and process resumes (:meth:`Simulator.kernel_stats`).
+:func:`collect_kernel_stats` aggregates the counters of every simulator
+built inside a ``with`` block; the ``repro profile`` CLI subcommand
+wraps any figure or microbench in it (plus cProfile) and reports an
+events/sec summary.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Generator, Iterable, Iterator, Optional
 
 from repro.errors import SimulationError
 
@@ -29,12 +66,34 @@ __all__ = [
     "Event",
     "Process",
     "Simulator",
+    "KernelStatsCollector",
     "all_of",
     "any_of",
+    "collect_kernel_stats",
 ]
 
 #: Sentinel for "event has no value yet".
 _PENDING = object()
+
+#: Sentinel stored in an event's callback slot once its callbacks have
+#: been processed ("the event has happened in simulated time").
+_FIRED = object()
+
+
+class _BootstrapOutcome:
+    """The outcome a process is resumed with the very first time.
+
+    Shaped like a succeeded event with value ``None`` (the only fields
+    :meth:`Process.__call__` reads), shared by every bootstrap so that
+    spawning a process allocates nothing beyond the process itself.
+    """
+
+    __slots__ = ()
+    _value = None
+    _exception = None
+
+
+_BOOT = _BootstrapOutcome()
 
 
 class Event:
@@ -43,16 +102,22 @@ class Event:
     An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
     *triggers* it, scheduling its callbacks to run at the current
     simulation time.  Once triggered an event is immutable.
+
+    Callback storage is lazy: ``_callback`` holds the first waiter,
+    ``_callbacks`` a list for the (rare) second and later waiters, and
+    the :data:`_FIRED` sentinel in ``_callback`` marks a fired event.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exception", "_scheduled")
+    __slots__ = ("sim", "_value", "_exception", "_scheduled", "_callback",
+                 "_callbacks")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
         self._scheduled = False
+        self._callback: Any = None
+        self._callbacks: Optional[list[Callable[["Event"], None]]] = None
 
     @property
     def triggered(self) -> bool:
@@ -71,7 +136,7 @@ class Event:
         This is the "it has happened in simulated time" predicate model
         code should use (e.g. "is the prefetched line back yet?").
         """
-        return self.callbacks is None
+        return self._callback is _FIRED
 
     @property
     def ok(self) -> bool:
@@ -81,7 +146,7 @@ class Event:
     @property
     def value(self) -> Any:
         """The success value; raises if pending or failed."""
-        if not self.triggered:
+        if self._value is _PENDING and self._exception is None:
             raise SimulationError("event value read before trigger")
         if self._exception is not None:
             raise self._exception
@@ -94,21 +159,27 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise SimulationError("event triggered twice")
+        if self._scheduled:
+            raise SimulationError("event scheduled twice")
         self._value = value
-        self.sim._schedule(self, delay=0)
+        self._scheduled = True
+        self.sim._runq_append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with a failure ``exception``."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise SimulationError("event triggered twice")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
+        if self._scheduled:
+            raise SimulationError("event scheduled twice")
         self._exception = exception
         self._value = None
-        self.sim._schedule(self, delay=0)
+        self._scheduled = True
+        self.sim._runq_append(self)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -118,10 +189,15 @@ class Event:
         callback runs immediately (still at the firing's logical time or
         later -- the simulator clock only moves forward).
         """
-        if self.callbacks is None:
+        slot = self._callback
+        if slot is _FIRED:
             callback(self)
+        elif slot is None:
+            self._callback = callback
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
-            self.callbacks.append(callback)
+            self._callbacks.append(callback)
 
 
 class Timeout(Event):
@@ -143,6 +219,12 @@ class Process(Event):
     The generator must yield :class:`Event` instances.  When a yielded
     event succeeds, the generator is resumed with the event's value; if
     it fails, the exception is thrown into the generator.
+
+    A new process needs no bootstrap events: it is appended to the run
+    queue *untriggered*, which the event loop recognizes as "start this
+    generator now" -- zero throwaway allocations per spawn.  A process
+    instance is also its own resume callback (:meth:`__call__`), so
+    waiting on an event costs no bound-method or lambda allocation.
     """
 
     __slots__ = ("_generator", "name")
@@ -156,29 +238,37 @@ class Process(Event):
         super().__init__(sim)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        # Bootstrap: resume the generator for the first time "now".
-        bootstrap = Event(sim)
-        bootstrap._value = None
-        bootstrap.callbacks = None  # already processed
-        sim._schedule_resume(self, bootstrap)
+        # Bootstrap: queue the first resumption "now".  The loop spots
+        # the untriggered entry and starts the generator instead of
+        # firing completion callbacks.
+        sim._runq_append(self)
+        sim.processes_spawned += 1
 
-    def _resume(self, event: Event) -> None:
-        """Advance the generator with the outcome of ``event``."""
+    def __call__(self, event: Event) -> None:
+        """Resume callback: advance the generator with ``event``'s outcome.
+
+        ``event`` is the fired event the process waited on (or the
+        shared :data:`_BOOT` outcome for a freshly spawned process).
+        """
         sim = self.sim
+        sim.process_resumes += 1
+        generator = self._generator
+        value = event._value
+        exception = event._exception
         while True:
             try:
-                if event._exception is not None:
-                    target = self._generator.throw(event._exception)
+                if exception is not None:
+                    target = generator.throw(exception)
                 else:
-                    target = self._generator.send(event._value)
+                    target = generator.send(value)
             except StopIteration as stop:
-                if not self.triggered:
+                if self._value is _PENDING and self._exception is None:
                     self.succeed(stop.value)
                 return
             except BaseException as exc:
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise
-                if not self.callbacks:
+                if self._callback is None and self._callbacks is None:
                     # Nobody is waiting on this process: escalate rather
                     # than swallow the failure (a crashed model process
                     # must crash the simulation).
@@ -199,16 +289,20 @@ class Process(Event):
                     )
                 )
                 return
-            if target.callbacks is None:
+            slot = target._callback
+            if slot is _FIRED:
                 # Already fired and processed: loop and resume inline, at
                 # the current time, without a scheduler round-trip.
-                event = target
+                value = target._value
+                exception = target._exception
                 continue
-            target.add_callback(self._resume_callback)
+            if slot is None:
+                target._callback = self
+            elif target._callbacks is None:
+                target._callbacks = [self]
+            else:
+                target._callbacks.append(self)
             return
-
-    def _resume_callback(self, event: Event) -> None:
-        self._resume(event)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name} at t={self.sim.now}>"
@@ -225,7 +319,14 @@ def _annotate(exc: BaseException, name: str) -> BaseException:
 
 
 class _ConditionEvent(Event):
-    """Shared machinery for :func:`all_of` / :func:`any_of`."""
+    """Shared machinery for :func:`all_of` / :func:`any_of`.
+
+    An ``all_of`` join counts down ``_pending`` (the number of
+    constituents that had not fired at construction), so every
+    constituent fire is O(1) -- no rescan of the whole list, which was
+    quadratic for the MLP-batching fan-ins.  The condition is its own
+    callback (:meth:`__call__`): subscribing allocates nothing.
+    """
 
     __slots__ = ("_pending", "_events", "_need_all")
 
@@ -240,31 +341,59 @@ class _ConditionEvent(Event):
         if not events:
             self.succeed([])
             return
-        for ev in events:
-            if ev.callbacks is None:
-                self._check(ev, fired_now=False)
-            else:
-                self._pending += 1
-                ev.add_callback(lambda e: self._check(e, fired_now=True))
-        if not self.triggered and self._need_all and self._pending == 0:
-            self.succeed([ev.value for ev in events])
-        if not self.triggered and not self._need_all:
+        if need_all:
+            # One interleaved pass, mirroring the old kernel's
+            # construction exactly: each already-fired constituent is
+            # checked in list order -- the first one carrying an
+            # exception fails the join NOW; one with a fully-fired
+            # prefix succeeds the join NOW if every constituent is at
+            # least *triggered* (an unfired-but-triggered constituent
+            # counts, and its predetermined value is read early).
+            pending = 0
             for ev in events:
-                if ev.callbacks is None and ev.ok:
-                    self.succeed(ev.value)
-                    break
+                if ev._callback is _FIRED:
+                    if self._value is _PENDING and self._exception is None:
+                        if ev._exception is not None:
+                            self.fail(ev._exception)
+                        elif pending == 0 and all(
+                            e.triggered for e in events
+                        ):
+                            self.succeed([e.value for e in events])
+                else:
+                    pending += 1
+            if self._value is not _PENDING or self._exception is not None:
+                return
+            if pending == 0:
+                self.succeed([ev.value for ev in events])
+                return
+            self._pending = pending
+            for ev in events:
+                if ev._callback is not _FIRED:
+                    ev.add_callback(self)
+        else:
+            for ev in events:
+                if ev._callback is _FIRED:
+                    # The first already-fired constituent decides.
+                    if ev._exception is not None:
+                        self.fail(ev._exception)
+                    else:
+                        self.succeed(ev._value)
+                    return
+            for ev in events:
+                ev.add_callback(self)
 
-    def _check(self, event: Event, fired_now: bool) -> None:
-        if fired_now:
-            self._pending -= 1
-        if self.triggered:
-            return
-        if event._exception is not None:
-            self.fail(event._exception)
+    def __call__(self, event: Event) -> None:
+        """One constituent fired."""
+        if self._value is not _PENDING or self._exception is not None:
+            return  # already decided (failed early, or any_of satisfied)
+        exc = event._exception
+        if exc is not None:
+            self.fail(exc)
             return
         if self._need_all:
-            if self._pending == 0 and all(ev.triggered for ev in self._events):
-                self.succeed([ev.value for ev in self._events])
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed([ev._value for ev in self._events])
         else:
             self.succeed(event._value)
 
@@ -291,13 +420,28 @@ def any_of(sim: "Simulator", events: Iterable[Event]) -> Event:
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of pending events."""
+    """The event loop: a clock, a same-tick run queue, and a heap.
+
+    The heap only carries *future* ticks; everything due "now" sits in
+    the FIFO run queue.  See the module docstring for why that preserves
+    the ``(tick, schedule-order)`` firing contract bit-for-bit.
+    """
 
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, Event]] = []
+        self._runq: deque[Event] = deque()
+        self._runq_append = self._runq.append  # bound once: hottest call
         self._seq = 0
-        self._resume_heap_entries = 0
+        # -- observability counters (see kernel_stats()) -------------------
+        self.events_fired = 0
+        self.heap_pushes = 0
+        self.heap_pops = 0
+        self.process_resumes = 0
+        self.processes_spawned = 0
+        if _collectors:
+            for collector in _collectors:
+                collector.register(self)
 
     # -- event construction ------------------------------------------------
 
@@ -338,34 +482,57 @@ class Simulator:
         if event._scheduled:
             raise SimulationError("event scheduled twice")
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if delay == 0:
+            self._runq_append(event)
+        elif delay > 0:
+            self._seq += 1
+            self.heap_pushes += 1
+            heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        else:
+            raise SimulationError(f"negative schedule delay: {delay}")
 
     def _schedule_value(self, event: Event, delay: int, value: Any) -> None:
         """Trigger ``event`` with ``value`` after ``delay`` ticks."""
         event._value = value
         self._schedule(event, delay)
 
-    def _schedule_resume(self, process: Process, bootstrap: Event) -> None:
-        """Queue the very first resumption of a new process."""
-        wrapper = Event(self)
-        wrapper._value = None
-        wrapper.add_callback(lambda _ev: process._resume(bootstrap))
-        self._schedule(wrapper, delay=0)
-
     # -- running -------------------------------------------------------------
 
     def step(self) -> None:
-        """Process the single next event in the queue."""
-        when, _seq, event = heapq.heappop(self._heap)
-        if when < self.now:  # pragma: no cover - defensive
-            raise SimulationError("time went backwards")
-        self.now = when
-        callbacks = event.callbacks
-        event.callbacks = None
-        if callbacks:
-            for callback in callbacks:
-                callback(event)
+        """Process the single next entry in the queues.
+
+        Heap entries due at the current tick fire before the run queue
+        (they are older in schedule order -- see the module docstring);
+        a run-queue entry may be a process bootstrap, which starts the
+        generator rather than firing completion callbacks.
+        """
+        heap = self._heap
+        if heap and heap[0][0] == self.now:
+            _when, _seq, event = heapq.heappop(heap)
+            self.heap_pops += 1
+        elif self._runq:
+            event = self._runq.popleft()
+            if not event._scheduled:
+                event(_BOOT)  # process bootstrap
+                return
+        elif heap:
+            when, _seq, event = heapq.heappop(heap)
+            self.heap_pops += 1
+            if when < self.now:  # pragma: no cover - defensive
+                raise SimulationError("time went backwards")
+            self.now = when
+        else:
+            raise SimulationError("step() with no pending events")
+        self.events_fired += 1
+        callback = event._callback
+        event._callback = _FIRED
+        if callback is not None:
+            callback(event)
+            callbacks = event._callbacks
+            if callbacks is not None:
+                event._callbacks = None
+                for callback in callbacks:
+                    callback(event)
 
     def run(self, until: Optional[int | Event] = None) -> Any:
         """Run the simulation.
@@ -374,28 +541,292 @@ class Simulator:
         * ``until=<int>``: run until the clock reaches that tick.
         * ``until=<Event>``: run until that event fires; returns its
           value (or raises its exception).
+
+        The loops below are deliberately flat and bound to locals: this
+        is the hot path under every figure of the paper, and a Python-
+        level function call per event would dominate the cost.
         """
+        heap = self._heap
+        runq = self._runq
+        heappop = heapq.heappop
+        popleft = runq.popleft
+        fired_mark = _FIRED
+        fired = 0
+        pops = 0
+
         if isinstance(until, Event):
-            stop_event = until
-            while not stop_event.triggered or stop_event.callbacks is not None:
-                if not self._heap:
-                    raise SimulationError(
-                        "simulation ran out of events before the awaited "
-                        "event fired (deadlock?)"
-                    )
-                self.step()
-            return stop_event.value
+            stop = until
+            if stop._callback is fired_mark:
+                return stop.value
+            now = self.now
+            try:
+                while stop._callback is not fired_mark:
+                    # 1) Heap entries due now fire first (older in
+                    #    schedule order than anything in the run queue).
+                    while heap and heap[0][0] == now:
+                        _when, _seq, event = heappop(heap)
+                        pops += 1
+                        fired += 1
+                        callback = event._callback
+                        event._callback = fired_mark
+                        if callback is not None:
+                            callback(event)
+                            callbacks = event._callbacks
+                            if callbacks is not None:
+                                event._callbacks = None
+                                for callback in callbacks:
+                                    callback(event)
+                        if stop._callback is fired_mark:
+                            break
+                    else:
+                        # 2) Drain the run queue; a run-queue fire can
+                        #    never add a heap entry at the current tick,
+                        #        so no heap probe per event is needed.
+                        while runq:
+                            event = popleft()
+                            if not event._scheduled:
+                                event(_BOOT)  # process bootstrap
+                                continue
+                            fired += 1
+                            callback = event._callback
+                            event._callback = fired_mark
+                            if callback is not None:
+                                callback(event)
+                                callbacks = event._callbacks
+                                if callbacks is not None:
+                                    event._callbacks = None
+                                    for callback in callbacks:
+                                        callback(event)
+                            if stop._callback is fired_mark:
+                                break
+                        else:
+                            # 3) Advance the clock to the next tick.
+                            if not heap:
+                                raise SimulationError(
+                                    "simulation ran out of events before the "
+                                    "awaited event fired (deadlock?)"
+                                )
+                            when, _seq, event = heappop(heap)
+                            pops += 1
+                            self.now = now = when
+                            fired += 1
+                            callback = event._callback
+                            event._callback = fired_mark
+                            if callback is not None:
+                                callback(event)
+                                callbacks = event._callbacks
+                                if callbacks is not None:
+                                    event._callbacks = None
+                                    for callback in callbacks:
+                                        callback(event)
+            finally:
+                self.events_fired += fired
+                self.heap_pops += pops
+            return stop.value
+
         if until is not None:
             horizon = int(until)
-            while self._heap and self._heap[0][0] <= horizon:
-                self.step()
-            self.now = max(self.now, horizon)
+            now = self.now
+            try:
+                while now <= horizon:
+                    while heap and heap[0][0] == now:
+                        _when, _seq, event = heappop(heap)
+                        pops += 1
+                        fired += 1
+                        callback = event._callback
+                        event._callback = fired_mark
+                        if callback is not None:
+                            callback(event)
+                            callbacks = event._callbacks
+                            if callbacks is not None:
+                                event._callbacks = None
+                                for callback in callbacks:
+                                    callback(event)
+                    while runq:
+                        event = popleft()
+                        if not event._scheduled:
+                            event(_BOOT)  # process bootstrap
+                            continue
+                        fired += 1
+                        callback = event._callback
+                        event._callback = fired_mark
+                        if callback is not None:
+                            callback(event)
+                            callbacks = event._callbacks
+                            if callbacks is not None:
+                                event._callbacks = None
+                                for callback in callbacks:
+                                    callback(event)
+                    if heap and heap[0][0] <= horizon:
+                        when, _seq, event = heappop(heap)
+                        pops += 1
+                        self.now = now = when
+                        fired += 1
+                        callback = event._callback
+                        event._callback = fired_mark
+                        if callback is not None:
+                            callback(event)
+                            callbacks = event._callbacks
+                            if callbacks is not None:
+                                event._callbacks = None
+                                for callback in callbacks:
+                                    callback(event)
+                    else:
+                        break
+            finally:
+                self.events_fired += fired
+                self.heap_pops += pops
+            if horizon > self.now:
+                self.now = horizon
             return None
-        while self._heap:
-            self.step()
+
+        now = self.now
+        try:
+            while True:
+                # 1) Heap entries due now: all older than any run-queue
+                #    entry, and none can be added while the clock holds.
+                while heap and heap[0][0] == now:
+                    _when, _seq, event = heappop(heap)
+                    pops += 1
+                    fired += 1
+                    callback = event._callback
+                    event._callback = fired_mark
+                    if callback is not None:
+                        callback(event)
+                        callbacks = event._callbacks
+                        if callbacks is not None:
+                            event._callbacks = None
+                            for callback in callbacks:
+                                callback(event)
+                # 2) Drain the same-tick run queue (appends during the
+                #    drain land behind, preserving FIFO schedule order).
+                while runq:
+                    event = popleft()
+                    if not event._scheduled:
+                        event(_BOOT)  # process bootstrap
+                        continue
+                    fired += 1
+                    callback = event._callback
+                    event._callback = fired_mark
+                    if callback is not None:
+                        callback(event)
+                        callbacks = event._callbacks
+                        if callbacks is not None:
+                            event._callbacks = None
+                            for callback in callbacks:
+                                callback(event)
+                # 3) Advance the clock to the next scheduled tick.
+                if not heap:
+                    break
+                when, _seq, event = heappop(heap)
+                pops += 1
+                self.now = now = when
+                fired += 1
+                callback = event._callback
+                event._callback = fired_mark
+                if callback is not None:
+                    callback(event)
+                    callbacks = event._callbacks
+                    if callbacks is not None:
+                        event._callbacks = None
+                        for callback in callbacks:
+                            callback(event)
+        finally:
+            self.events_fired += fired
+            self.heap_pops += pops
         return None
 
     @property
     def pending_events(self) -> int:
         """Number of events currently queued (scheduled, not yet fired)."""
-        return len(self._heap)
+        return len(self._heap) + len(self._runq)
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def runq_bypasses(self) -> int:
+        """Schedules that skipped the heap (same-tick run-queue entries).
+
+        Derived rather than counted so the hot scheduling paths carry no
+        extra increment: every run-queue append is either an event later
+        fired from the run queue (``events_fired - heap_pops``), a
+        process bootstrap (``processes_spawned``), or still queued.
+        Exact whenever the run queue holds no un-started bootstraps --
+        in particular, always between :meth:`run` calls.
+        """
+        return (self.events_fired - self.heap_pops + self.processes_spawned
+                + len(self._runq))
+
+    def kernel_stats(self) -> dict[str, int]:
+        """Snapshot of the kernel's hot-path counters."""
+        return {
+            "events_fired": self.events_fired,
+            "heap_pushes": self.heap_pushes,
+            "heap_pops": self.heap_pops,
+            "runq_bypasses": self.runq_bypasses,
+            "process_resumes": self.process_resumes,
+            "processes_spawned": self.processes_spawned,
+            "pending_events": self.pending_events,
+        }
+
+
+#: Active stats collectors; every Simulator constructed while one is
+#: active registers itself (used by ``repro profile``).
+_collectors: list["KernelStatsCollector"] = []
+
+
+class KernelStatsCollector:
+    """Aggregates kernel counters across every registered simulator."""
+
+    def __init__(self) -> None:
+        self.simulators: list[Simulator] = []
+
+    def register(self, sim: Simulator) -> None:
+        self.simulators.append(sim)
+
+    def stats(self) -> dict[str, int]:
+        """Summed counters of all registered simulators."""
+        totals = {
+            "simulators": len(self.simulators),
+            "events_fired": 0,
+            "heap_pushes": 0,
+            "heap_pops": 0,
+            "runq_bypasses": 0,
+            "process_resumes": 0,
+            "processes_spawned": 0,
+        }
+        for sim in self.simulators:
+            totals["events_fired"] += sim.events_fired
+            totals["heap_pushes"] += sim.heap_pushes
+            totals["heap_pops"] += sim.heap_pops
+            totals["runq_bypasses"] += sim.runq_bypasses
+            totals["process_resumes"] += sim.process_resumes
+            totals["processes_spawned"] += sim.processes_spawned
+        return totals
+
+    @property
+    def bypass_ratio(self) -> float:
+        """Fraction of schedules that skipped the heap entirely."""
+        stats = self.stats()
+        scheduled = stats["runq_bypasses"] + stats["heap_pushes"]
+        if scheduled == 0:
+            return 0.0
+        return stats["runq_bypasses"] / scheduled
+
+
+@contextmanager
+def collect_kernel_stats() -> Iterator[KernelStatsCollector]:
+    """Collect kernel counters from every simulator built in the block.
+
+    ::
+
+        with collect_kernel_stats() as kernel:
+            run_microbench(config, spec, window)
+        print(kernel.stats()["events_fired"], kernel.bypass_ratio)
+    """
+    collector = KernelStatsCollector()
+    _collectors.append(collector)
+    try:
+        yield collector
+    finally:
+        _collectors.remove(collector)

@@ -55,38 +55,45 @@ class Resource:
         """Request a slot; the returned event fires on grant."""
         event = Event(self.sim)
         self.total_acquires += 1
-        if self.in_use < self.capacity and not self._waiters:
+        in_use = self.in_use
+        if in_use < self.capacity and not self._waiters:
             self._account()
-            self.in_use += 1
-            self.max_in_use = max(self.max_in_use, self.in_use)
-            event.succeed(self)
+            self.in_use = in_use = in_use + 1
+            if in_use > self.max_in_use:
+                self.max_in_use = in_use
+            # Inlined succeed(): the event is freshly constructed, so the
+            # triggered/scheduled guards cannot fire.
+            event._value = self
+            event._scheduled = True
+            self.sim._runq_append(event)
         else:
             self._waiters.append(event)
         return event
 
     def try_acquire(self) -> bool:
         """Take a slot immediately if one is free; never queues."""
-        if self.in_use < self.capacity and not self._waiters:
+        in_use = self.in_use
+        if in_use < self.capacity and not self._waiters:
             self._account()
-            self.in_use += 1
-            self.max_in_use = max(self.max_in_use, self.in_use)
+            self.in_use = in_use = in_use + 1
+            if in_use > self.max_in_use:
+                self.max_in_use = in_use
             self.total_acquires += 1
             return True
         return False
 
     def release(self) -> None:
         """Free a slot, handing it to the oldest waiter if any."""
-        if self.in_use <= 0:
+        in_use = self.in_use
+        if in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
         if self._waiters:
             # Hand the slot over without transiting through "free":
             # occupancy stays constant, the waiter proceeds.
-            waiter = self._waiters.popleft()
-            self.max_in_use = max(self.max_in_use, self.in_use)
-            waiter.succeed(self)
+            self._waiters.popleft().succeed(self)
         else:
             self._account()
-            self.in_use -= 1
+            self.in_use = in_use - 1
 
     @property
     def queued(self) -> int:
@@ -94,12 +101,18 @@ class Resource:
         return len(self._waiters)
 
     def average_occupancy(self) -> float:
-        """Time-weighted mean occupancy since construction."""
-        self._account()
-        elapsed = self.sim.now - 0
-        if elapsed <= 0:
+        """Time-weighted mean occupancy since construction.
+
+        A pure query: the integral-so-far is folded in arithmetically
+        instead of flushing ``_account()``, so mid-run introspection can
+        never perturb the accounting state (or, before this fix, the
+        statistics ordering of a later ``_account()``).
+        """
+        now = self.sim.now
+        if now <= 0:
             return 0.0
-        return self._occupancy_integral / elapsed
+        integral = self._occupancy_integral + self.in_use * (now - self._last_change)
+        return integral / now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -131,31 +144,59 @@ class Store:
         self.max_level = 0
 
     def put(self, item: Any) -> Event:
-        """Offer ``item``; the returned event fires when it is enqueued."""
-        event = Event(self.sim)
+        """Offer ``item``; the returned event fires when it is enqueued.
+
+        The satisfied branches build the already-succeeded event by
+        hand (``__new__`` plus slot assignments) instead of
+        ``Event(sim).succeed(None)``: the event is freshly constructed,
+        so the triggered/scheduled guards cannot fire, and this method
+        is on the kernel's hottest path.
+        """
+        sim = self.sim
         self.total_puts += 1
         if self._getters:
             # Direct hand-off to the oldest waiting consumer.
-            getter = self._getters.popleft()
-            getter.succeed(item)
-            event.succeed(None)
-            return event
-        if self.capacity is None or len(self._items) < self.capacity:
-            self._items.append(item)
-            self.max_level = max(self.max_level, len(self._items))
-            event.succeed(None)
+            self._getters.popleft().succeed(item)
         else:
-            self._putters.append((event, item))
+            items = self._items
+            capacity = self.capacity
+            if capacity is not None and len(items) >= capacity:
+                event = Event(sim)
+                self._putters.append((event, item))
+                return event
+            items.append(item)
+            level = len(items)
+            if level > self.max_level:
+                self.max_level = level
+        event = Event.__new__(Event)
+        event.sim = sim
+        event._value = None
+        event._exception = None
+        event._scheduled = True
+        event._callback = None
+        event._callbacks = None
+        sim._runq_append(event)
         return event
 
     def get(self) -> Event:
         """Take the oldest item; the returned event fires with it."""
-        event = Event(self.sim)
-        if self._items:
-            item = self._items.popleft()
-            self._admit_blocked_putter()
-            event.succeed(item)
+        sim = self.sim
+        items = self._items
+        if items:
+            item = items.popleft()
+            if self._putters:
+                self._admit_blocked_putter()
+            # Inlined construction + succeed(item); see put().
+            event = Event.__new__(Event)
+            event.sim = sim
+            event._value = item
+            event._exception = None
+            event._scheduled = True
+            event._callback = None
+            event._callbacks = None
+            sim._runq_append(event)
         else:
+            event = Event(sim)
             self._getters.append(event)
         return event
 
@@ -166,7 +207,8 @@ class Store:
         """
         if self._items:
             item = self._items.popleft()
-            self._admit_blocked_putter()
+            if self._putters:
+                self._admit_blocked_putter()
             return True, item
         return False, None
 

@@ -19,6 +19,8 @@ __all__ = ["Counter", "TimeWeighted", "LatencyStat", "ProbeSet"]
 class Counter:
     """A windowed event counter (e.g. retired work instructions)."""
 
+    __slots__ = ("name", "total", "windowed", "active")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.total = 0
@@ -44,6 +46,8 @@ class TimeWeighted:
     records that the value is ``v`` from ``now`` onward.
     """
 
+    __slots__ = ("name", "_value", "_last", "_integral", "maximum")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._value = 0.0
@@ -67,6 +71,9 @@ class TimeWeighted:
 
 class LatencyStat:
     """Streaming min/mean/max/percentile tracker for latencies."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "_samples", "_stride")
 
     #: Cap on retained samples; beyond it we subsample deterministically.
     MAX_SAMPLES = 65536

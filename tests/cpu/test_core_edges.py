@@ -5,13 +5,13 @@ import pytest
 from repro.config import CacheConfig, CpuConfig, UncoreConfig
 from repro.cpu import AddressSpace, CoreMemorySystem, OutOfOrderCore, Uncore
 from repro.errors import SimulationError
-from repro.sim import Simulator
+from repro.sim import Resource, Simulator
 from repro.sim.trace import Counter
 from repro.testing import FixedLatencyTarget
 from repro.units import ns
 
 
-def build(sim, width=4, chunk=16, rob=192, ipc=1.0):
+def build(sim, width=4, chunk=16, rob=192, ipc=1.0, front_end=None):
     config = CpuConfig(
         frequency_ghz=1.0,
         dispatch_width=width,
@@ -23,7 +23,9 @@ def build(sim, width=4, chunk=16, rob=192, ipc=1.0):
     uncore.attach_target(AddressSpace.DEVICE, FixedLatencyTarget(sim, ns(500)))
     uncore.attach_target(AddressSpace.DRAM, FixedLatencyTarget(sim, ns(80)))
     memsys = CoreMemorySystem(sim, 0, CacheConfig(), 10, uncore, config.frequency)
-    return OutOfOrderCore(sim, 0, config, memsys, Counter("w"))
+    return OutOfOrderCore(
+        sim, 0, config, memsys, Counter("w"), front_end=front_end
+    )
 
 
 def run(sim, gen):
@@ -140,6 +142,55 @@ def test_rob_caps_total_in_flight_instructions():
     # waiting for the gate (at 5 us), not just front-end time.
     assert finished >= ns(5000)
     assert core.rob.max_used <= 32
+
+
+def test_exception_during_dispatch_timeout_releases_front_end():
+    """Regression: an exception thrown into a process waiting on the
+    dispatch timeout must release the shared front end, or the SMT
+    sibling deadlocks on a slot that never frees."""
+    sim = Simulator()
+    front_end = Resource(sim, 1, name="frontend")
+    core = build(sim, front_end=front_end)
+
+    victim = core._dispatch(ns(10))
+    victim.send(None)  # acquires the slot, yields the (unfired) grant
+    assert front_end.in_use == 1
+    victim.send(None)  # past the grant, now waiting on the timeout
+    with pytest.raises(RuntimeError):
+        victim.throw(RuntimeError("context torn down"))
+    assert front_end.in_use == 0
+
+    # End to end: a sibling dispatch completes -- before the fix it
+    # deadlocked, and sim.run(done) raised "ran out of events".
+    def sibling():
+        yield from core._dispatch(ns(5))
+
+    sim.run(sim.process(sibling()))
+
+
+def test_exception_while_awaiting_grant_releases_iff_granted():
+    """The cleanup keys on grant.triggered: an uncontended acquire owns
+    its slot before the grant event fires, a queued one owns nothing."""
+    sim = Simulator()
+    front_end = Resource(sim, 1, name="frontend")
+    core = build(sim, front_end=front_end)
+
+    owner = core._dispatch(ns(10))
+    owner.send(None)  # slot granted immediately, grant not yet fired
+    assert front_end.in_use == 1
+    with pytest.raises(RuntimeError):
+        owner.throw(RuntimeError("torn down while grant pending"))
+    assert front_end.in_use == 0  # released: the slot was granted
+
+    holder = core._dispatch(ns(10))
+    holder.send(None)
+    assert front_end.in_use == 1
+    waiter = core._dispatch(ns(10))
+    waiter.send(None)  # queued behind holder, no slot owned
+    with pytest.raises(RuntimeError):
+        waiter.throw(RuntimeError("torn down while queued"))
+    # The holder's slot must not have been stolen by the dying waiter.
+    assert front_end.in_use == 1
 
 
 def test_work_counter_shared_across_cores():

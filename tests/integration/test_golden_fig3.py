@@ -1,0 +1,23 @@
+"""Golden-series guard for the kernel fast path.
+
+``tests/golden/fig3_quick_prepr2.json`` holds the fig3("quick") series
+produced by the kernel *before* the same-tick run queue / lean events
+rework.  The rework's contract is bit-for-bit determinism, so the
+comparison is exact equality of the serialized figure -- no tolerances.
+JSON round-trips floats through repr, which is lossless, so equality of
+the parsed structures is equality of the series.
+"""
+
+import json
+import pathlib
+
+from repro.harness.figures import fig3
+from repro.harness.regression import figure_to_dict
+from repro.harness.sweep import SweepEngine
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "golden" / "fig3_quick_prepr2.json"
+
+
+def test_fig3_quick_is_bit_for_bit_identical_to_pre_rework_kernel():
+    figure = fig3("quick", engine=SweepEngine(jobs=1, use_cache=False))
+    assert figure_to_dict(figure) == json.loads(GOLDEN.read_text())

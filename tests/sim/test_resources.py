@@ -225,3 +225,28 @@ def test_store_drain_helper():
 
     sim.process(producer())
     assert sim.run(sim.process(consumer())) == 11
+
+
+def test_average_occupancy_is_side_effect_free():
+    """Regression: the query used to flush ``_account()``, so probing it
+    mid-run changed the accounting timeline.  It must be pure: same
+    answer on repeated calls, and no effect on later statistics."""
+    sim = Simulator()
+    probed = Resource(sim, capacity=2, name="probed")
+    control = Resource(sim, capacity=2, name="control")
+
+    def worker(resource, probe):
+        yield resource.acquire()
+        yield sim.timeout(100)
+        if probe:
+            first = resource.average_occupancy()
+            assert resource.average_occupancy() == first
+        yield sim.timeout(100)
+        resource.release()
+
+    sim.process(worker(probed, probe=True))
+    sim.process(worker(control, probe=False))
+    sim.run()
+    assert probed._occupancy_integral == control._occupancy_integral
+    assert probed._last_change == control._last_change
+    assert probed.average_occupancy() == control.average_occupancy()

@@ -124,3 +124,30 @@ def test_table1_command():
     code, text = run_cli("table1")
     assert code == 0
     assert "Overlapping" in text and "User-mode context switch" in text
+
+
+def test_profile_command_microbench():
+    code, text = run_cli(
+        "profile", "microbench", "--threads", "4",
+        "--warmup-us", "5", "--measure-us", "10", "--top", "5",
+    )
+    assert code == 0
+    assert "events fired" in text
+    assert "bypass ratio" in text
+    assert "events/sec" in text
+    # cProfile output made it through, with the kernel on top.
+    assert "cumtime" in text
+    assert "kernel.py" in text
+
+
+def test_profile_command_figure():
+    code, text = run_cli("profile", "fig3", "--scale", "quick", "--top", "3")
+    assert code == 0
+    assert "profiled      : fig3 --scale quick" in text
+    assert "events fired" in text
+    assert "events/sec" in text
+
+
+def test_profile_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        run_cli("profile", "not-a-figure")
