@@ -6,6 +6,7 @@
     python -m repro run --mechanism software-queue --threads 24 --cores 4
     python -m repro figure fig3 --scale quick --jobs 4
     python -m repro sweep fig3 --scale full --jobs 8
+    python -m repro trace --figure fig7 --out trace.json --tracks swq,pcie
     python -m repro app memcached --mechanism prefetch --threads 8
     python -m repro list
 """
@@ -31,6 +32,7 @@ from repro.harness.experiment import MeasureWindow, normalized_microbench
 from repro.harness.figures import ALL_FIGURES
 from repro.harness.report import render_chart, render_table, to_csv
 from repro.harness.sweep import SweepEngine
+from repro.obs.scenarios import TRACE_SCENARIOS
 from repro.workloads.microbench import MicrobenchSpec
 
 __all__ = ["main", "build_parser"]
@@ -50,6 +52,32 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one microbenchmark configuration"
     )
     _add_run_flags(run)
+    run.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="also write the full metrics-registry snapshot as JSON",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="record a tick-accurate Chrome-trace timeline (Perfetto-"
+             "loadable) of one figure's characteristic run",
+    )
+    trace.add_argument("--figure", choices=sorted(TRACE_SCENARIOS),
+                       default="fig3",
+                       help="which figure's scenario to trace (default fig3)")
+    trace.add_argument("--out", metavar="PATH", default="trace.json",
+                       help="output trace file (default trace.json)")
+    trace.add_argument("--tracks", metavar="LIST", default=None,
+                       help="comma-separated track subset "
+                            "(rob,lfb,queues,pcie,device,swq,sched; "
+                            "default all)")
+    trace.add_argument("--sample", type=int, default=1, metavar="N",
+                       help="keep 1 in N duration events per event name "
+                            "(counters are never sampled)")
+    trace.add_argument("--max-events", type=int, default=2_000_000,
+                       metavar="N", help="hard cap on recorded events")
+    trace.add_argument("--quick", action="store_true",
+                       help="short 5+20 us window (CI smoke runs)")
 
     figure = commands.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=sorted(ALL_FIGURES))
@@ -170,7 +198,9 @@ def _command_run(args: argparse.Namespace, out) -> int:
         writes_per_batch=args.writes,
     )
     window = MeasureWindow(warmup_us=args.warmup_us, measure_us=args.measure_us)
-    normalized, result = normalized_microbench(config, spec, window)
+    normalized, result = normalized_microbench(
+        config, spec, window, collect_metrics=bool(args.metrics)
+    )
     report = result.report
     print(f"configuration : {config.describe()}", file=out)
     print(f"work-count    : {spec.work_count}  (MLP {spec.reads_per_batch}, "
@@ -183,6 +213,52 @@ def _command_run(args: argparse.Namespace, out) -> int:
     print(f"chip-q peak   : {report['uncore_pcie_max']} / {args.chip_queue}", file=out)
     up = report["pcie_up_wire_bytes"] / (result.stats.ticks / 1e12) / 1e9
     print(f"PCIe upstream : {up:.2f} GB/s on the wire", file=out)
+    if args.metrics:
+        import json
+
+        with open(args.metrics, "w") as handle:
+            json.dump(report["metrics"], handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics       : {len(report['metrics'])} probes written to "
+              f"{args.metrics}", file=out)
+    return 0
+
+
+def _command_trace(args: argparse.Namespace, out) -> int:
+    from repro.harness.experiment import run_microbench
+    from repro.obs import TraceConfig, Tracer
+    from repro.obs.scenarios import trace_scenario
+    from repro.obs.validate import validate_trace
+
+    scenario = trace_scenario(args.figure)
+    window = scenario.window
+    if args.quick:
+        window = MeasureWindow(warmup_us=5.0, measure_us=20.0)
+    trace_config = TraceConfig.from_track_list(
+        args.tracks, sample_every=args.sample, max_events=args.max_events
+    )
+    tracer = Tracer(trace_config)
+    result = run_microbench(
+        scenario.config, scenario.spec, window, tracer=tracer
+    )
+    tracer.write(args.out)
+    summary = tracer.summary()
+    print(f"scenario      : {args.figure} -- {scenario.description}", file=out)
+    print(f"configuration : {scenario.config.describe()}", file=out)
+    print(f"window        : {window.warmup_us:g} us warmup + "
+          f"{window.measure_us:g} us measured", file=out)
+    print(f"work IPC      : {result.work_ipc:.4f}", file=out)
+    print(f"events        : {summary['events']} recorded, "
+          f"{summary['dropped']} dropped", file=out)
+    for track, count in summary["tracks"].items():
+        print(f"  {track:<7}     : {count}", file=out)
+    print(f"trace written : {args.out}  "
+          f"(open at https://ui.perfetto.dev)", file=out)
+    errors = validate_trace(tracer.to_dict())
+    if errors:
+        print(f"INVALID trace : {len(errors)} schema error(s); "
+              f"first: {errors[0]}", file=out)
+        return 1
     return 0
 
 
@@ -331,6 +407,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     try:
         if args.command == "run":
             return _command_run(args, out)
+        if args.command == "trace":
+            return _command_trace(args, out)
         if args.command == "figure":
             return _command_figure(args, out)
         if args.command == "sweep":

@@ -98,6 +98,14 @@ class OutOfOrderCore:
         """Attach the posted-MMIO-write path (doorbells)."""
         self._mmio_sink = sink
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Export this logical core's private probes under ``prefix``
+        (e.g. ``core0.rob.max_used``).  The memory subsystem registers
+        separately: SMT siblings share it, so the System exports it
+        once per *physical* core."""
+        registry.register(f"{prefix}.instructions", self.instructions)
+        self.rob.register_metrics(registry, f"{prefix}.rob")
+
     # -- time helpers ---------------------------------------------------------
 
     def cycles(self, n: float) -> int:

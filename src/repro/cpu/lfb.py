@@ -46,6 +46,37 @@ class LineFillBuffers:
         self.merges = 0
         self.fills = 0
         self.dropped_prefetches = 0
+        #: Optional observability hooks (None keeps hot paths untouched).
+        self.tracer = None
+        self._trace_pid = 0
+        self._trace_tid = 0
+
+    def attach_tracer(self, tracer, pid: int, tid: int) -> None:
+        self.tracer = tracer
+        self._trace_pid = pid
+        self._trace_tid = tid
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        registry.register(f"{prefix}.capacity", lambda: self.capacity)
+        registry.register(f"{prefix}.in_flight", lambda: self.in_flight)
+        registry.register(f"{prefix}.max_in_flight", lambda: self.max_in_flight)
+        registry.register(f"{prefix}.fills", lambda: self.fills)
+        registry.register(f"{prefix}.merges", lambda: self.merges)
+        registry.register(
+            f"{prefix}.dropped_prefetches", lambda: self.dropped_prefetches
+        )
+
+    def _trace_occupancy(self) -> None:
+        """Counter sample of granted buffers + queued misses (called
+        only from tracer-guarded sites)."""
+        occupied = self._slots.in_use
+        self.tracer.counter(
+            "lfb",
+            self._trace_pid,
+            f"{self.name}.occupancy",
+            self.sim.now,
+            {"buffers": occupied, "waiting": len(self._entries) - occupied},
+        )
 
     @property
     def capacity(self) -> int:
@@ -92,6 +123,8 @@ class LineFillBuffers:
         if not grant.fired:
             yield grant
         entry.issued_at = self.sim.now
+        if self.tracer is not None:
+            self._trace_occupancy()
         return entry
 
     def allocate_queued(self, line_addr: int) -> tuple[MissEntry, Event]:
@@ -113,6 +146,8 @@ class LineFillBuffers:
 
         def stamp(_event) -> None:
             entry.issued_at = self.sim.now
+            if self.tracer is not None:
+                self._trace_occupancy()
 
         grant.add_callback(stamp)
         return entry, grant
@@ -135,6 +170,8 @@ class LineFillBuffers:
             return None
         entry = MissEntry(self.sim, line_addr)
         self._entries[line_addr] = entry
+        if self.tracer is not None:
+            self._trace_occupancy()
         return entry
 
     def complete(self, entry: MissEntry, data: bytes) -> None:
@@ -145,8 +182,21 @@ class LineFillBuffers:
                 f"{self.name}: completion for unknown entry {entry.line_addr:#x}"
             )
         self.fills += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.complete(
+                "lfb",
+                self._trace_pid,
+                self._trace_tid,
+                "lfb-fill",
+                entry.issued_at,
+                self.sim.now,
+                args={"merged": entry.merged_loads},
+            )
         entry.data_ready.succeed(data)
         self._slots.release()
+        if tracer is not None:
+            self._trace_occupancy()
 
     def fill_latency_so_far(self, entry: MissEntry) -> int:
         """Ticks since the miss was issued (stats helper)."""

@@ -59,6 +59,12 @@ class CoreMemorySystem:
         #: the backing store; in replay mode it may not be readable).
         self._contents: dict[int, bytes] = {}
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        self.lfb.register_metrics(registry, f"{prefix}.lfb")
+        registry.register(f"{prefix}.fill_latency", self.fill_latency)
+        registry.register(f"{prefix}.l1_hits", lambda: self.l1.hits)
+        registry.register(f"{prefix}.l1_misses", lambda: self.l1.misses)
+
     def line_of(self, addr: int) -> int:
         return addr - (addr % self.line_bytes)
 
@@ -135,6 +141,8 @@ class CoreMemorySystem:
         grant = queue.acquire()
         if not grant.fired:
             yield grant
+        if self.uncore.tracer is not None:
+            self.uncore.trace_queue(space)
         yield self.sim.timeout(self.uncore.hop_ticks)
         data = yield self.uncore.target(space).read_line(line)
         yield self.sim.timeout(self.uncore.hop_ticks)
@@ -143,6 +151,8 @@ class CoreMemorySystem:
             self._contents.pop(victim, None)
         self._contents[line] = data
         queue.release()
+        if self.uncore.tracer is not None:
+            self.uncore.trace_queue(space)
         self.fill_latency.record(self.sim.now - entry.issued_at)
         self.lfb.complete(entry, data)
 

@@ -48,7 +48,25 @@ class ReorderBuffer:
         self._idle_waiters: list[Event] = []
         self.max_used = 0
         self.retired_groups = 0
+        #: Optional observability hooks (attached by the System when a
+        #: trace is requested); None keeps the hot path untouched.
+        self.tracer = None
+        self._trace_pid = 0
+        self._trace_tid = 0
         sim.process(self._retire_loop(), name=f"{name}-retire")
+
+    def attach_tracer(self, tracer, pid: int, tid: int) -> None:
+        self.tracer = tracer
+        self._trace_pid = pid
+        self._trace_tid = tid
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Export occupancy statistics under ``prefix``."""
+        registry.register(f"{prefix}.capacity", lambda: self.capacity)
+        registry.register(f"{prefix}.max_used", lambda: self.max_used)
+        registry.register(
+            f"{prefix}.retired_groups", lambda: self.retired_groups
+        )
 
     @property
     def used(self) -> int:
@@ -68,7 +86,21 @@ class ReorderBuffer:
         else:
             grant = Event(self.sim)
             self._waiters.append((slots, grant))
-            yield grant
+            tracer = self.tracer
+            if tracer is None:
+                yield grant
+            else:
+                stalled_at = self.sim.now
+                yield grant
+                tracer.complete(
+                    "rob",
+                    self._trace_pid,
+                    self._trace_tid,
+                    "rob-stall",
+                    stalled_at,
+                    self.sim.now,
+                    args={"slots": slots, "used": self.used},
+                )
         self.max_used = max(self.max_used, self.used)
 
     def commit(

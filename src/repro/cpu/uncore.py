@@ -64,6 +64,37 @@ class Uncore:
             ),
         }
         self._targets: dict[AddressSpace, MemoryTarget] = {}
+        #: Optional observability hooks (None keeps hot paths untouched).
+        self.tracer = None
+        self._trace_pid = 0
+
+    def attach_tracer(self, tracer, pid: int) -> None:
+        self.tracer = tracer
+        self._trace_pid = pid
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        for space, queue in self._queues.items():
+            base = f"{prefix}.{space.value}_queue"
+            registry.register(f"{base}.capacity", lambda q=queue: q.capacity)
+            registry.register(f"{base}.max_in_use", lambda q=queue: q.max_in_use)
+            registry.register(
+                f"{base}.total_acquires", lambda q=queue: q.total_acquires
+            )
+            registry.register(
+                f"{base}.mean_occupancy", lambda q=queue: q.average_occupancy()
+            )
+
+    def trace_queue(self, space: AddressSpace) -> None:
+        """Counter sample of a path queue's occupancy (callers must
+        guard on ``uncore.tracer is not None``)."""
+        queue = self._queues[space]
+        self.tracer.counter(
+            "queues",
+            self._trace_pid,
+            f"uncore.{space.value}-q",
+            self.sim.now,
+            {"in_use": queue.in_use, "waiting": queue.queued},
+        )
 
     def attach_target(self, space: AddressSpace, target: MemoryTarget) -> None:
         if space in self._targets:

@@ -42,8 +42,27 @@ class DelayModule:
         self.released = 0
         self.deadline_misses = 0
         self.worst_miss_ticks = 0
-        self._heap: list[tuple[int, int, Any]] = []
+        self._heap: list[tuple[int, int, Any, int]] = []
         self._seq = 0
+        #: Optional observability hooks (None keeps hot paths untouched).
+        self.tracer = None
+        self._trace_pid = 0
+        self._trace_tid = 0
+
+    def attach_tracer(self, tracer, pid: int, tid: int) -> None:
+        self.tracer = tracer
+        self._trace_pid = pid
+        self._trace_tid = tid
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        registry.register(f"{prefix}.released", lambda: self.released)
+        registry.register(
+            f"{prefix}.deadline_misses", lambda: self.deadline_misses
+        )
+        registry.register(
+            f"{prefix}.worst_miss_ticks", lambda: self.worst_miss_ticks
+        )
+        registry.register(f"{prefix}.queued", lambda: self.queued)
 
     def submit(self, response: Any, arrival_time: int) -> None:
         """Schedule ``response`` for release at ``arrival + delay``.
@@ -60,14 +79,25 @@ class DelayModule:
             )
             deadline = self.sim.now
         self._seq += 1
-        heapq.heappush(self._heap, (deadline, self._seq, response))
+        heapq.heappush(self._heap, (deadline, self._seq, response, arrival_time))
         release = self.sim.timeout(deadline - self.sim.now)
         release.add_callback(self._release)
 
     def _release(self, _event) -> None:
-        deadline, _seq, response = heapq.heappop(self._heap)
+        deadline, _seq, response, arrival = heapq.heappop(self._heap)
         assert deadline <= self.sim.now
         self.released += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.complete(
+                "device",
+                self._trace_pid,
+                self._trace_tid,
+                f"{self.name}-hold",
+                arrival,
+                self.sim.now,
+                args={"missed": self.sim.now > arrival + self.delay_ticks},
+            )
         self.send(response)
 
     @property

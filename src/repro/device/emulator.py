@@ -80,6 +80,21 @@ class MmioEmulator:
         self.write_bytes_received = 0
         link.downstream.set_receiver(self.on_tlp)
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        registry.register(
+            f"{prefix}.requests_served", lambda: self.requests_served
+        )
+        registry.register(
+            f"{prefix}.writes_received", lambda: self.writes_received
+        )
+        registry.register(
+            f"{prefix}.write_bytes_received",
+            lambda: self.write_bytes_received,
+        )
+        self.delay.register_metrics(registry, f"{prefix}.delay")
+        self.stream_channel.register_metrics(registry, f"{prefix}.obd_stream")
+        self.ondemand_channel.register_metrics(registry, f"{prefix}.obd_demand")
+
     # -- replay methodology -----------------------------------------------------
 
     def start_recording(self) -> dict[int, AccessTrace]:
@@ -234,6 +249,21 @@ class SwqEmulator:
         self.requests_served = 0
         self.writes_served = 0
         link.downstream.set_receiver(self.on_tlp)
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        registry.register(
+            f"{prefix}.requests_served", lambda: self.requests_served
+        )
+        registry.register(f"{prefix}.writes_served", lambda: self.writes_served)
+        self.delay.register_metrics(registry, f"{prefix}.delay")
+        for fetcher in self.fetchers:
+            fetcher.register_metrics(
+                registry, f"{prefix}.fetcher{fetcher.core_id}"
+            )
+        for queue_pair in self.queue_pairs:
+            queue_pair.register_metrics(
+                registry, f"{prefix}.qp{queue_pair.core_id}"
+            )
 
     def on_tlp(self, tlp: Tlp) -> None:
         if tlp.kind is TlpKind.MEM_WRITE:

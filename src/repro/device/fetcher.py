@@ -17,6 +17,7 @@ PCIe round trip per burst.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable
 
 from repro.config import SwqConfig
@@ -86,7 +87,31 @@ class RequestFetcher:
         self.descriptors_fetched = 0
         self.empty_bursts = 0
         self.flag_writes = 0
+        #: Optional observability hooks (None keeps hot paths untouched).
+        #: Burst issue ticks pair FIFO with reply receipts (the link and
+        #: host DRAM both serve in order), giving each burst's DMA
+        #: round-trip duration.
+        self.tracer = None
+        self._trace_pid = 0
+        self._trace_tid = 0
+        self._burst_issued_at: deque[int] = deque()
         sim.process(self._run(), name=self.name)
+
+    def attach_tracer(self, tracer, pid: int, tid: int) -> None:
+        self.tracer = tracer
+        self._trace_pid = pid
+        self._trace_tid = tid
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        registry.register(
+            f"{prefix}.doorbells_received", lambda: self.doorbells_received
+        )
+        registry.register(f"{prefix}.bursts_issued", lambda: self.bursts_issued)
+        registry.register(
+            f"{prefix}.descriptors_fetched", lambda: self.descriptors_fetched
+        )
+        registry.register(f"{prefix}.empty_bursts", lambda: self.empty_bursts)
+        registry.register(f"{prefix}.flag_writes", lambda: self.flag_writes)
 
     # -- host-facing ------------------------------------------------------------
 
@@ -94,6 +119,15 @@ class RequestFetcher:
         """The doorbell MMIO write arrived (or the post-flag recheck
         found pending work)."""
         self.doorbells_received += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "swq",
+                self._trace_pid,
+                self._trace_tid,
+                f"{self.name}-doorbell",
+                self.sim.now,
+            )
         if self._wakeup is not None:
             wakeup, self._wakeup = self._wakeup, None
             wakeup.succeed(None)
@@ -129,6 +163,24 @@ class RequestFetcher:
                 batch = yield self._replies.get()
                 outstanding -= 1
                 self.descriptors_fetched += len(batch)
+                tracer = self.tracer
+                if tracer is not None and self._burst_issued_at:
+                    tracer.complete(
+                        "swq",
+                        self._trace_pid,
+                        self._trace_tid,
+                        f"{self.name}-burst",
+                        self._burst_issued_at.popleft(),
+                        self.sim.now,
+                        args={"descriptors": len(batch)},
+                    )
+                    tracer.counter(
+                        "swq",
+                        self._trace_pid,
+                        f"{self.name}.ring",
+                        self.sim.now,
+                        {"pending": self.queue_pair.requests_pending},
+                    )
                 for descriptor in batch:
                     self.serve(descriptor, self.sim.now)
                 if not batch:
@@ -148,6 +200,8 @@ class RequestFetcher:
             read_fn=lambda: self.queue_pair.device_fetch(burst),
         )
         self.bursts_issued += 1
+        if self.tracer is not None:
+            self._burst_issued_at.append(self.sim.now)
         self.link.upstream.send(
             Tlp(
                 TlpKind.MEM_READ,

@@ -53,6 +53,15 @@ class MemoryBusDevice(MemoryTarget):
         self.requests_served = 0
         self.writes_received = 0
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        registry.register(
+            f"{prefix}.requests_served", lambda: self.requests_served
+        )
+        registry.register(
+            f"{prefix}.writes_received", lambda: self.writes_received
+        )
+        self.channel.register_metrics(registry, f"{prefix}.channel")
+
     def read_line(self, line_addr: int) -> Event:
         self.requests_served += 1
         data = self.world.read_line(line_addr)

@@ -70,12 +70,22 @@ def run_microbench(
     spec: MicrobenchSpec,
     window: MeasureWindow = MeasureWindow(),
     platform: Optional[PlatformConfig] = None,
+    tracer=None,
+    collect_metrics: bool = False,
 ) -> MicrobenchResult:
-    """Run the (free-running) microbenchmark and measure one window."""
-    system = System(config, platform=platform)
+    """Run the (free-running) microbenchmark and measure one window.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records a structured
+    timeline of the run; ``collect_metrics`` adds the full registry
+    snapshot to the result's report under ``"metrics"``.
+    """
+    system = System(config, platform=platform, tracer=tracer)
     install_microbench(system, spec, config.threads_per_core)
     stats = system.run_window(window.warmup_ticks, window.measure_ticks)
-    return MicrobenchResult(config, spec, stats, system.report())
+    report = system.report()
+    if collect_metrics:
+        report["metrics"] = system.metrics_snapshot()
+    return MicrobenchResult(config, spec, stats, report)
 
 
 class BaselineCache:
@@ -152,6 +162,7 @@ def normalized_microbench(
     window: MeasureWindow = MeasureWindow(),
     platform: Optional[PlatformConfig] = None,
     baselines: Optional[BaselineCache] = None,
+    collect_metrics: bool = False,
 ) -> tuple[float, MicrobenchResult]:
     """Normalized work IPC (the paper's headline metric) plus the run.
 
@@ -159,7 +170,9 @@ def normalized_microbench(
     microsecond-latency device results are normalized to the DRAM
     baseline with a matching degree of MLP" (section V-B).
     """
-    result = run_microbench(config, spec, window, platform)
+    result = run_microbench(
+        config, spec, window, platform, collect_metrics=collect_metrics
+    )
     baseline = microbench_baseline(config, spec, window, baselines)
     if baseline.work_ipc == 0:
         raise SimulationError(

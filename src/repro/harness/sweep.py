@@ -185,7 +185,7 @@ def baseline_job(job: SweepJob) -> SweepJob:
     return SweepJob(config=config, spec=spec, window=job.window)
 
 
-def _execute_job(job: SweepJob) -> dict:
+def _execute_job(job: SweepJob, collect_metrics: bool = False) -> dict:
     """Run one job to a small JSON-able payload (worker entry point)."""
     if job.app is not None:
         run = run_application(job.config, job.app, job.params)
@@ -194,9 +194,11 @@ def _execute_job(job: SweepJob) -> dict:
             "ticks": run.ticks,
             "operations": run.operations,
         }
-    result = run_microbench(job.config, job.spec, job.window)
+    result = run_microbench(
+        job.config, job.spec, job.window, collect_metrics=collect_metrics
+    )
     stats = result.stats
-    return {
+    payload = {
         "kind": "microbench",
         "work_ipc": stats.work_ipc,
         "accesses": stats.accesses,
@@ -204,6 +206,9 @@ def _execute_job(job: SweepJob) -> dict:
         "work_instructions": stats.work_instructions,
         "cycles": stats.cycles,
     }
+    if collect_metrics:
+        payload["metrics"] = result.report["metrics"]
+    return payload
 
 
 class ResultCache:
@@ -284,13 +289,18 @@ class SweepEngine:
         timeout_s: float = 900.0,
         retries: int = 1,
         probes: Optional[ProbeSet] = None,
+        collect_metrics: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigError("the sweep engine needs at least one worker")
         if retries < 0:
             raise ConfigError("retries cannot be negative")
         self.jobs = jobs
-        self.salt = str(salt)
+        self.collect_metrics = bool(collect_metrics)
+        # Metrics change the payload shape, so metric-bearing results
+        # must never share cache entries with plain ones: salt them
+        # into a disjoint key space.
+        self.salt = str(salt) + ("+metrics" if collect_metrics else "")
         self.timeout_s = timeout_s
         self.retries = retries
         self.probes = probes if probes is not None else ProbeSet()
@@ -303,13 +313,16 @@ class SweepEngine:
     @classmethod
     def from_env(cls, environ: Optional[dict] = None) -> "SweepEngine":
         """Engine configured from ``REPRO_SWEEP_JOBS`` (worker count),
-        ``REPRO_CACHE_DIR`` (cache root) and ``REPRO_NO_CACHE``
-        (any non-empty value disables the on-disk cache)."""
+        ``REPRO_CACHE_DIR`` (cache root), ``REPRO_NO_CACHE`` (any
+        non-empty value disables the on-disk cache) and
+        ``REPRO_SWEEP_METRICS`` (any non-empty value adds a registry
+        snapshot to every microbench payload)."""
         env = os.environ if environ is None else environ
         return cls(
             jobs=int(env.get("REPRO_SWEEP_JOBS", "1") or "1"),
             cache_dir=env.get("REPRO_CACHE_DIR", ".repro_cache"),
             use_cache=not env.get("REPRO_NO_CACHE"),
+            collect_metrics=bool(env.get("REPRO_SWEEP_METRICS")),
         )
 
     # -- execution -------------------------------------------------------
@@ -397,7 +410,10 @@ class SweepEngine:
             if pool is not None:
                 try:
                     tickets = [
-                        (key, job, pool.apply_async(_execute_job, (job,)),
+                        (key, job,
+                         pool.apply_async(
+                             _execute_job, (job, self.collect_metrics)
+                         ),
                          time.perf_counter())
                         for key, job in pending
                     ]
@@ -413,12 +429,15 @@ class SweepEngine:
                                     retries += 1
                                     self.probes.counter("sweep-retry").add()
                                     ticket = pool.apply_async(
-                                        _execute_job, (job,)
+                                        _execute_job,
+                                        (job, self.collect_metrics),
                                     )
                                 else:
                                     fallbacks += 1
                                     self.probes.counter("sweep-fallback").add()
-                                    payload = _execute_job(job)
+                                    payload = _execute_job(
+                                        job, self.collect_metrics
+                                    )
                         wall.record(int((time.perf_counter() - t0) * 1e9))
                         results[key] = payload
                 finally:
@@ -427,7 +446,7 @@ class SweepEngine:
                 return results, retries, fallbacks
         for key, job in pending:
             t0 = time.perf_counter()
-            results[key] = _execute_job(job)
+            results[key] = _execute_job(job, self.collect_metrics)
             wall.record(int((time.perf_counter() - t0) * 1e9))
         return results, retries, fallbacks
 

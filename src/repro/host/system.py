@@ -92,7 +92,12 @@ class System:
         self,
         config: SystemConfig,
         platform: Optional[PlatformConfig] = None,
+        tracer=None,
     ) -> None:
+        """``tracer`` (a :class:`repro.obs.Tracer`, or anything with
+        its recording interface) turns on structured tracing: the
+        builder attaches it to every instrumented component.  ``None``
+        (the default) leaves every hook a no-op."""
         self.config = config
         self.platform = platform if platform is not None else PlatformConfig()
         self.platform.validate(config.mechanism, config.cores)
@@ -262,6 +267,97 @@ class System:
         self._dram_bump = _DRAM_DATA_BASE
         self._response_bump = _RESPONSE_BASE
         self._started = False
+
+        self.tracer = tracer
+        if tracer is not None:
+            self._attach_tracer(tracer)
+
+    # -- observability -----------------------------------------------------------
+
+    def _attach_tracer(self, tracer) -> None:
+        """Wire ``tracer`` into every instrumented component, assigning
+        the pid/tid layout of the rendered timeline (one Perfetto
+        process group per hardware layer)."""
+        from repro.obs import PID_CORES, PID_DEVICE, PID_PCIE, PID_UNCORE
+
+        tracer.process_name(PID_CORES, "cores")
+        tracer.process_name(PID_UNCORE, "uncore")
+        tracer.process_name(PID_PCIE, "pcie")
+        tracer.process_name(PID_DEVICE, "device")
+
+        smt = self.config.cpu.smt_contexts
+        # Two tids per logical core (pipeline + scheduler), then one
+        # per physical core's shared LFB stack.
+        for index, core in enumerate(self.cores):
+            rob_tid = 2 * core.core_id + 1
+            sched_tid = 2 * core.core_id + 2
+            tracer.thread_name(PID_CORES, rob_tid, f"core{core.core_id} rob")
+            tracer.thread_name(
+                PID_CORES, sched_tid, f"core{core.core_id} sched"
+            )
+            core.rob.attach_tracer(tracer, PID_CORES, rob_tid)
+            self.runtimes[index].attach_tracer(tracer, PID_CORES, sched_tid)
+            if index % smt == 0:
+                lfb_tid = 2 * self.logical_cores + core.core_id // smt + 1
+                tracer.thread_name(
+                    PID_CORES, lfb_tid, f"lfb{core.core_id // smt}"
+                )
+                core.memsys.lfb.attach_tracer(tracer, PID_CORES, lfb_tid)
+
+        self.uncore.attach_tracer(tracer, PID_UNCORE)
+
+        for tid, (direction, role) in enumerate(
+            (
+                (self.link.downstream, "wire"),
+                (self.link.downstream, "prop"),
+                (self.link.upstream, "wire"),
+                (self.link.upstream, "prop"),
+            ),
+            start=1,
+        ):
+            tracer.thread_name(PID_PCIE, tid, f"{direction.name} {role}")
+        self.link.downstream.attach_tracer(tracer, PID_PCIE, 1, 2)
+        self.link.upstream.attach_tracer(tracer, PID_PCIE, 3, 4)
+
+        delay = getattr(self.device, "delay", None)
+        if delay is not None and hasattr(delay, "attach_tracer"):
+            tracer.thread_name(PID_DEVICE, 1, "delay")
+            delay.attach_tracer(tracer, PID_DEVICE, 1)
+        for offset, fetcher in enumerate(getattr(self.device, "fetchers", ())):
+            tid = 2 + offset
+            tracer.thread_name(PID_DEVICE, tid, fetcher.name)
+            fetcher.attach_tracer(tracer, PID_DEVICE, tid)
+
+    def register_metrics(self, registry) -> None:
+        """Register every component's probes under the hierarchical
+        naming scheme (``core0.lfb.in_flight``, ``pcie.upstream.util``,
+        ...)."""
+        registry.register("work", self.work_counter)
+        registry.register("access_latency", self.access_latency)
+        smt = self.config.cpu.smt_contexts
+        for index, core in enumerate(self.cores):
+            prefix = f"core{core.core_id}"
+            core.register_metrics(registry, prefix)
+            if index % smt == 0:
+                # SMT siblings share the L1/LFB stack: export it once,
+                # under the physical core's first logical context.
+                core.memsys.register_metrics(registry, prefix)
+        self.uncore.register_metrics(registry, "uncore")
+        self.link.register_metrics(registry, "pcie")
+        self.dram.register_metrics(registry, "host_dram")
+        self.device.register_metrics(registry, "device")
+        for runtime in self.runtimes:
+            runtime.register_metrics(
+                registry, f"runtime{runtime.core.core_id}"
+            )
+
+    def metrics_snapshot(self) -> dict:
+        """One JSON-able dump of every registered probe, now."""
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        self.register_metrics(registry)
+        return registry.snapshot(self.sim.now)
 
     # -- latency budgeting -------------------------------------------------------
 

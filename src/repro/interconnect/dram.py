@@ -56,9 +56,20 @@ class DramChannel:
         self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
         self._queue: Store = Store(sim, name=f"{name}-q")
         self.utilization = TimeWeighted(f"{name}-util")
+        # Anchor at construction so idle time from t=0 counts in the
+        # mean (the probe otherwise starts at its first update).
+        self.utilization.update(sim.now, 0.0)
         self.bytes_transferred = 0
         self.accesses = 0
         sim.process(self._pump(), name=f"{name}-pump")
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        registry.register(
+            f"{prefix}.bytes_transferred", lambda: self.bytes_transferred
+        )
+        registry.register(f"{prefix}.accesses", lambda: self.accesses)
+        registry.register(f"{prefix}.queued", lambda: self.queued)
+        registry.register(f"{prefix}.util", self.utilization)
 
     def access(self, num_bytes: int, value: Any = None) -> Event:
         """Read or write ``num_bytes``; the event fires with ``value``

@@ -38,12 +38,43 @@ class PcieDirection:
         self._queue: Store = Store(sim, name=f"{name}-txq")
         self._receiver: Optional[Receiver] = None
         self.utilization = TimeWeighted(f"{name}-util")
+        # Anchor the time-weighted mean at construction: the channel is
+        # *idle* from t=0, and that idle time belongs in the mean (the
+        # probe otherwise starts its clock at the first transmission).
+        self.utilization.update(sim.now, 0.0)
         # Accounting for the bandwidth analysis of section V-C.
         self.wire_bytes = 0
         self.payload_bytes = 0
         self.packets = 0
         self.packets_by_kind: dict[str, int] = {}
+        #: Optional observability hooks (None keeps hot paths untouched).
+        self.tracer = None
+        self._trace_pid = 0
+        self._trace_tid_wire = 0
+        self._trace_tid_prop = 0
         sim.process(self._pump(), name=f"pcie-{name}")
+
+    def attach_tracer(
+        self, tracer, pid: int, tid_wire: int, tid_prop: int
+    ) -> None:
+        """Wire tids: serialization slices on ``tid_wire``; in-flight
+        propagation (which overlaps across TLPs) on ``tid_prop``."""
+        self.tracer = tracer
+        self._trace_pid = pid
+        self._trace_tid_wire = tid_wire
+        self._trace_tid_prop = tid_prop
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        registry.register(f"{prefix}.wire_bytes", lambda: self.wire_bytes)
+        registry.register(f"{prefix}.payload_bytes", lambda: self.payload_bytes)
+        registry.register(f"{prefix}.packets", lambda: self.packets)
+        registry.register(
+            f"{prefix}.packets_by_kind", lambda: dict(self.packets_by_kind)
+        )
+        registry.register(
+            f"{prefix}.useful_fraction", lambda: self.useful_fraction()
+        )
+        registry.register(f"{prefix}.util", self.utilization)
 
     def set_receiver(self, receiver: Receiver) -> None:
         """Register the single delivery callback for this direction."""
@@ -64,16 +95,56 @@ class PcieDirection:
             if self._receiver is None:
                 raise ProtocolError(f"{self.name}: packet sent with no receiver")
             size = tlp.wire_bytes(self.config.header_bytes)
-            self.utilization.update(self.sim.now, 1.0)
+            serialize_start = self.sim.now
+            self.utilization.update(serialize_start, 1.0)
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.counter(
+                    "pcie",
+                    self._trace_pid,
+                    f"{self.name}.txq",
+                    serialize_start,
+                    {"queued": len(self._queue), "busy": 1},
+                )
             yield self.sim.timeout(
                 transfer_ticks(size, self.config.bandwidth_bytes_per_s)
             )
-            self.utilization.update(self.sim.now, 0.0)
+            now = self.sim.now
+            self.utilization.update(now, 0.0)
             self.wire_bytes += size
             self.payload_bytes += tlp.payload_bytes
             self.packets += 1
             kind = tlp.kind.value
             self.packets_by_kind[kind] = self.packets_by_kind.get(kind, 0) + 1
+            if tracer is not None:
+                tracer.complete(
+                    "pcie",
+                    self._trace_pid,
+                    self._trace_tid_wire,
+                    f"tlp-{kind}",
+                    serialize_start,
+                    now,
+                    args={
+                        "wire_bytes": size,
+                        "payload_bytes": tlp.payload_bytes,
+                        "queued_ticks": serialize_start - tlp.sent_at,
+                    },
+                )
+                tracer.complete(
+                    "pcie",
+                    self._trace_pid,
+                    self._trace_tid_prop,
+                    f"prop-{kind}",
+                    now,
+                    now + propagation,
+                )
+                tracer.counter(
+                    "pcie",
+                    self._trace_pid,
+                    f"{self.name}.txq",
+                    now,
+                    {"queued": len(self._queue), "busy": 0},
+                )
             delivery = self.sim.timeout(propagation)
             delivery.add_callback(self._deliver(tlp))
 
@@ -103,6 +174,10 @@ class PcieLink:
         self.config = config
         self.downstream = PcieDirection(sim, config, "downstream")
         self.upstream = PcieDirection(sim, config, "upstream")
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        self.downstream.register_metrics(registry, f"{prefix}.downstream")
+        self.upstream.register_metrics(registry, f"{prefix}.upstream")
 
     def round_trip_ticks(self, response_payload_bytes: int) -> int:
         """Uncontended round trip of a read: request serialization +

@@ -1,0 +1,32 @@
+"""Unified observability layer: metrics registry + structured tracing.
+
+* :class:`~repro.obs.registry.MetricsRegistry` -- hierarchical,
+  pull-based export of every component's probes to one JSON snapshot.
+* :class:`~repro.obs.tracer.Tracer` / ``TraceConfig`` -- tick-accurate
+  Chrome-trace-event timelines (Perfetto-loadable), zero-cost no-ops
+  when no tracer is attached.
+* :mod:`~repro.obs.validate` -- standalone trace-format validator
+  (``python -m repro.obs.validate trace.json``).
+"""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import (
+    PID_CORES,
+    PID_DEVICE,
+    PID_PCIE,
+    PID_UNCORE,
+    TRACKS,
+    TraceConfig,
+    Tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Tracer",
+    "TraceConfig",
+    "TRACKS",
+    "PID_CORES",
+    "PID_UNCORE",
+    "PID_PCIE",
+    "PID_DEVICE",
+]

@@ -1,0 +1,133 @@
+"""Validator for the Chrome-trace-event JSON the tracer emits.
+
+Hand-rolled (the repo deliberately has no ``jsonschema`` dependency):
+checks the subset of the trace-event format we produce -- ``X``
+complete events, ``C`` counters, ``i`` instants, and ``M`` metadata --
+strictly enough to catch the mistakes that make Perfetto reject or
+mis-render a file (missing ``dur``, non-numeric ``ts``, counter args
+that are not numbers, ...).
+
+Usable as a module for tests and as a CLI for CI::
+
+    python -m repro.obs.validate trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Optional, Sequence
+
+__all__ = ["validate_trace", "validate_file", "main"]
+
+_PHASES = {"X", "B", "E", "i", "I", "C", "M"}
+_METADATA_NAMES = {
+    "process_name",
+    "process_labels",
+    "process_sort_index",
+    "thread_name",
+    "thread_sort_index",
+}
+_INSTANT_SCOPES = {"g", "p", "t"}
+
+
+def _is_number(value: Any) -> bool:
+    # bool is an int subclass but "true" is not a timestamp.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_trace(data: Any) -> list[str]:
+    """Validate a parsed trace object; returns a list of error strings
+    (empty when the trace is valid)."""
+    if not isinstance(data, dict):
+        return ["top level must be a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    errors: list[str] = []
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: 'name' must be a non-empty string")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            errors.append(f"{where}: 'ph' {phase!r} not one of {sorted(_PHASES)}")
+            continue
+        for key in ("pid", "tid"):
+            value = event.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(f"{where}: {key!r} must be an integer")
+        if phase == "M":
+            if name not in _METADATA_NAMES:
+                errors.append(
+                    f"{where}: metadata name {name!r} not one of "
+                    f"{sorted(_METADATA_NAMES)}"
+                )
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                errors.append(f"{where}: metadata needs args with a 'name'")
+            continue
+        ts = event.get("ts")
+        if not _is_number(ts) or ts < 0:
+            errors.append(f"{where}: 'ts' must be a non-negative number")
+        if phase == "X":
+            dur = event.get("dur")
+            if not _is_number(dur) or dur < 0:
+                errors.append(
+                    f"{where}: complete event needs non-negative 'dur'"
+                )
+        elif phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: counter needs non-empty args")
+            else:
+                for series, value in args.items():
+                    if not _is_number(value):
+                        errors.append(
+                            f"{where}: counter series {series!r} must be "
+                            "a number"
+                        )
+        elif phase in ("i", "I"):
+            scope = event.get("s")
+            if scope is not None and scope not in _INSTANT_SCOPES:
+                errors.append(
+                    f"{where}: instant scope {scope!r} not one of "
+                    f"{sorted(_INSTANT_SCOPES)}"
+                )
+    return errors
+
+
+def validate_file(path: str) -> list[str]:
+    """Parse and validate a trace file; parse failures are errors."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        return [f"cannot read {path}: {error}"]
+    except ValueError as error:
+        return [f"{path} is not valid JSON: {error}"]
+    return validate_trace(data)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate TRACE.json", file=sys.stderr)
+        return 2
+    errors = validate_file(argv[0])
+    if errors:
+        for error in errors[:50]:
+            print(f"error: {error}", file=sys.stderr)
+        if len(errors) > 50:
+            print(f"... and {len(errors) - 50} more", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: valid Chrome trace-event JSON")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

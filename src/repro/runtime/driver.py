@@ -75,6 +75,25 @@ class CoreRuntime:
         self.opportunistic_polls = 0
         self._slices_since_poll = 0
         self._process: Optional[Process] = None
+        #: Optional observability hooks (None keeps hot paths untouched).
+        self.tracer = None
+        self._trace_pid = 0
+        self._trace_tid = 0
+
+    def attach_tracer(self, tracer, pid: int, tid: int) -> None:
+        self.tracer = tracer
+        self._trace_pid = pid
+        self._trace_tid = tid
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        registry.register(
+            f"{prefix}.context_switches", lambda: self.context_switches
+        )
+        registry.register(f"{prefix}.empty_polls", lambda: self.empty_polls)
+        registry.register(
+            f"{prefix}.opportunistic_polls", lambda: self.opportunistic_polls
+        )
+        registry.register(f"{prefix}.finished_threads", lambda: self.finished)
 
     # -- setup -----------------------------------------------------------------
 
@@ -114,7 +133,28 @@ class CoreRuntime:
                 continue
             thread = self.ready.popleft()
             thread.state = ThreadState.RUNNING
-            switched = yield from self._run_slice(thread)
+            tracer = self.tracer
+            if tracer is None:
+                switched = yield from self._run_slice(thread)
+            else:
+                slice_start = self.sim.now
+                switched = yield from self._run_slice(thread)
+                tracer.complete(
+                    "sched",
+                    self._trace_pid,
+                    self._trace_tid,
+                    f"uthread{thread.thread_id}",
+                    slice_start,
+                    self.sim.now,
+                    args={"state": thread.state.name},
+                )
+                tracer.counter(
+                    "sched",
+                    self._trace_pid,
+                    f"core{self.core.core_id}.threads",
+                    self.sim.now,
+                    {"ready": len(self.ready), "blocked": len(self.blocked)},
+                )
             if switched:
                 self.context_switches += 1
                 yield from self.core.busy(self.costs.switch_ticks)
@@ -189,13 +229,16 @@ class CoreRuntime:
         queue_pair = self.queue_pair
         assert queue_pair is not None
         self._slices_since_poll = 0
+        poll_start = self.sim.now
         yield from self.core.busy(max(1, self.costs.poll_ticks))
         found = False
+        consumed = 0
         while True:
             completion = queue_pair.pop_completion()
             if completion is None:
                 break
             found = True
+            consumed += 1
             yield from self.core.busy(self.costs.completion_ticks)
             woke = self._deliver(completion)
             if woke:
@@ -204,6 +247,17 @@ class CoreRuntime:
                 )
         if not found:
             self.empty_polls += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.complete(
+                "sched",
+                self._trace_pid,
+                self._trace_tid,
+                "cq-poll",
+                poll_start,
+                self.sim.now,
+                args={"completions": consumed},
+            )
 
     def _deliver(self, completion: Completion) -> bool:
         """Route a completion to its thread; True if the thread woke."""

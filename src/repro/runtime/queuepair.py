@@ -77,6 +77,18 @@ class QueuePair:
         self.completions_posted = 0
         self.max_request_depth = 0
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        registry.register(f"{prefix}.doorbells_rung", lambda: self.doorbells_rung)
+        registry.register(
+            f"{prefix}.descriptors_enqueued", lambda: self.descriptors_enqueued
+        )
+        registry.register(
+            f"{prefix}.completions_posted", lambda: self.completions_posted
+        )
+        registry.register(
+            f"{prefix}.max_request_depth", lambda: self.max_request_depth
+        )
+
     # -- host side -------------------------------------------------------------
 
     def enqueue(self, descriptor: Descriptor) -> None:

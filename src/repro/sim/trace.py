@@ -46,7 +46,7 @@ class TimeWeighted:
     records that the value is ``v`` from ``now`` onward.
     """
 
-    __slots__ = ("name", "_value", "_last", "_integral", "maximum")
+    __slots__ = ("name", "_value", "_last", "_integral", "maximum", "_start")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -54,9 +54,18 @@ class TimeWeighted:
         self._last = 0
         self._integral = 0.0
         self.maximum = 0.0
+        #: Time of the first update; the mean is taken over
+        #: ``[_start, now]`` so a probe created mid-run is not diluted
+        #: by the pre-creation span it never observed.  Components that
+        #: want "idle since construction" folded in (e.g. link
+        #: utilization) anchor explicitly with ``update(sim.now, 0.0)``.
+        self._start: Optional[int] = None
 
     def update(self, now: int, value: float) -> None:
-        if now < self._last:
+        if self._start is None:
+            self._start = now
+            self._last = now
+        elif now < self._last:
             raise ValueError("time-weighted update moved backwards in time")
         self._integral += self._value * (now - self._last)
         self._last = now
@@ -64,18 +73,29 @@ class TimeWeighted:
         self.maximum = max(self.maximum, value)
 
     def mean(self, now: int) -> float:
-        if now <= 0:
+        start = self._start
+        if start is None or now <= start:
             return 0.0
-        return (self._integral + self._value * (now - self._last)) / now
+        return (self._integral + self._value * (now - self._last)) / (now - start)
 
 
 class LatencyStat:
-    """Streaming min/mean/max/percentile tracker for latencies."""
+    """Streaming min/mean/max/percentile tracker for latencies.
+
+    Like :class:`Counter`, the stat keeps a windowed sub-aggregate
+    (count/total/min/max) accumulated only while :attr:`active`, so the
+    steady-state measurement window excludes warmup latencies.
+    """
 
     __slots__ = ("name", "count", "total", "minimum", "maximum",
-                 "_samples", "_stride")
+                 "_samples", "_stride", "_next_sample", "active",
+                 "windowed_count", "windowed_total",
+                 "windowed_min", "windowed_max")
 
     #: Cap on retained samples; beyond it we subsample deterministically.
+    #: Must stay even: subsampling keeps even indices, and the proof
+    #: that the just-appended sample survives relies on MAX_SAMPLES
+    #: (the index it lands on) being even.
     MAX_SAMPLES = 65536
 
     def __init__(self, name: str = "") -> None:
@@ -86,6 +106,17 @@ class LatencyStat:
         self.maximum: Optional[int] = None
         self._samples: list[int] = []
         self._stride = 1
+        #: 1-based index of the next observation to retain.  An explicit
+        #: counter keeps phase with the retained samples across
+        #: subsampling: retained samples sit at counts 1, 1+s, 1+2s, …,
+        #: and after halving, the freshly appended sample (an even
+        #: index, hence kept) re-anchors the sequence.
+        self._next_sample = 1
+        self.active = False
+        self.windowed_count = 0
+        self.windowed_total = 0
+        self.windowed_min: Optional[int] = None
+        self.windowed_max: Optional[int] = None
 
     def record(self, value: int) -> None:
         self.count += 1
@@ -94,32 +125,43 @@ class LatencyStat:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
-        if (self.count - 1) % self._stride == 0:
+        if self.active:
+            self.windowed_count += 1
+            self.windowed_total += value
+            if self.windowed_min is None or value < self.windowed_min:
+                self.windowed_min = value
+            if self.windowed_max is None or value > self.windowed_max:
+                self.windowed_max = value
+        if self.count == self._next_sample:
             self._samples.append(value)
             if len(self._samples) > self.MAX_SAMPLES:
-                # Keep every other sample and double the stride.
+                # Keep every other sample and double the stride.  The
+                # sample just appended landed on index MAX_SAMPLES
+                # (even), so it survives and the next retained count is
+                # exactly one new stride later.
                 self._samples = self._samples[::2]
                 self._stride *= 2
+            self._next_sample = self.count + self._stride
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
 
+    @property
+    def windowed_mean(self) -> float:
+        if not self.windowed_count:
+            return math.nan
+        return self.windowed_total / self.windowed_count
+
+    def reset_window(self) -> None:
+        self.windowed_count = 0
+        self.windowed_total = 0
+        self.windowed_min = None
+        self.windowed_max = None
+
     def percentile(self, p: float) -> float:
         """Approximate percentile ``p`` in [0, 100] from retained samples."""
-        if not self._samples:
-            return math.nan
-        ordered = sorted(self._samples)
-        if p <= 0:
-            return float(ordered[0])
-        if p >= 100:
-            return float(ordered[-1])
-        rank = p / 100 * (len(ordered) - 1)
-        low = int(rank)
-        frac = rank - low
-        if low + 1 >= len(ordered):
-            return float(ordered[-1])
-        return ordered[low] * (1 - frac) + ordered[low + 1] * frac
+        return percentile_of_sorted(sorted(self._samples), p)
 
 
 @dataclass
@@ -146,17 +188,21 @@ class ProbeSet:
         return self.weighted[name]
 
     def set_window_active(self, active: bool) -> None:
-        """Toggle windowed accumulation on every counter."""
+        """Toggle windowed accumulation on every counter and latency stat."""
         for counter in self.counters.values():
             counter.active = active
+        for latency in self.latencies.values():
+            latency.active = active
 
     def reset_windows(self) -> None:
         for counter in self.counters.values():
             counter.reset_window()
+        for latency in self.latencies.values():
+            latency.reset_window()
 
 
 def percentile_of_sorted(ordered: list[int], p: float) -> float:
-    """Exact percentile of an already-sorted list (test helper)."""
+    """Linear-interpolated percentile of an already-sorted list."""
     if not ordered:
         return math.nan
     if p <= 0:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.config import CacheConfig, CpuConfig, UncoreConfig
 from repro.cpu import AddressSpace, CoreMemorySystem, OutOfOrderCore, Uncore
-from repro.errors import SimulationError
 from repro.sim import Resource, Simulator
 from repro.sim.trace import Counter
 from repro.testing import FixedLatencyTarget

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.config import (
-    AccessMechanism,
-    BackingStore,
-    DeviceConfig,
-    SystemConfig,
-)
+from repro.config import AccessMechanism, SystemConfig
 from repro.errors import ConfigError
 from repro.host.driver import PlatformConfig
 from repro.host.system import System

@@ -1,7 +1,5 @@
 """Tests of the SMT (multi-context) core model."""
 
-import pytest
-
 from repro.config import AccessMechanism, CpuConfig, DeviceConfig, SystemConfig
 from repro.host.system import System
 from repro.units import to_us

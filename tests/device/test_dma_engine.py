@@ -1,7 +1,5 @@
 """Unit tests for the trace-preload DMA engine."""
 
-import pytest
-
 from repro.config import PcieConfig
 from repro.device.emulator import DmaEngine
 from repro.device.replay import AccessTrace, TraceEntry

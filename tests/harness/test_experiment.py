@@ -85,7 +85,7 @@ def test_zero_ipc_baseline_raises_simulation_error(monkeypatch):
 
     monkeypatch.setattr(
         experiment, "run_microbench",
-        lambda config, spec, window, platform=None: _Dead(),
+        lambda config, spec, window, platform=None, **kwargs: _Dead(),
     )
     config = SystemConfig(mechanism=AccessMechanism.ON_DEMAND)
     with pytest.raises(SimulationError) as excinfo:

@@ -43,7 +43,7 @@ def test_render_table_contains_all_points():
     assert "-" in text
     lines = text.splitlines()
     # Header + rule + one row per distinct x (1, 2, 4) + title lines.
-    assert len([l for l in lines if l and l[0] != " "][0]) > 0
+    assert len([line for line in lines if line and line[0] != " "][0]) > 0
 
 
 def test_to_csv_roundtrips_values():

@@ -202,11 +202,11 @@ def test_no_cache_engine_never_touches_disk(tmp_path):
 _REAL_EXECUTE = sweep_mod._execute_job
 
 
-def _fail_in_worker(job):
+def _fail_in_worker(job, collect_metrics=False):
     """Raises inside pool workers, behaves normally in the parent."""
     if multiprocessing.current_process().name != "MainProcess":
         raise RuntimeError("injected worker failure")
-    return _REAL_EXECUTE(job)
+    return _REAL_EXECUTE(job, collect_metrics)
 
 
 def test_worker_failure_falls_back_in_process(monkeypatch):

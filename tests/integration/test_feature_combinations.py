@@ -1,8 +1,6 @@
 """Integration tests of feature combinations (SMT x mechanisms x
 attachments x writes) that no single unit suite exercises together."""
 
-import pytest
-
 from repro.config import (
     AccessMechanism,
     CpuConfig,

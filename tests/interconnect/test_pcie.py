@@ -112,6 +112,74 @@ def test_utilization_tracks_busy_time():
     assert link.downstream.utilization.mean(sim.now) == pytest.approx(0.5)
 
 
+def test_utilization_mean_with_back_to_back_same_tick_tlps():
+    """Two TLPs sent at the same tick keep the wire continuously busy;
+    the utilization integral must see one solid busy interval, not a
+    busy/idle flicker that under-counts the second serialization."""
+    sim = Simulator()
+    link = make_link(sim, bandwidth_bytes_per_s=1e9, propagation_ns=0.0)
+    link.downstream.set_receiver(lambda tlp: None)
+    for tag in (1, 2):
+        link.downstream.send(
+            Tlp(TlpKind.MEM_WRITE, address=0, payload_bytes=476, tag=tag)
+        )
+    sim.run()
+    # Two 500-byte packets at 1 GB/s: busy from t=0 to t=1000 ns.
+    assert sim.now == ns(1000)
+    assert link.downstream.utilization.mean(sim.now) == pytest.approx(1.0)
+    assert link.downstream.utilization.maximum == 1.0
+    sim.run(until=ns(4000))
+    # Busy 1000 of 4000 ns once the queue drains.
+    assert link.downstream.utilization.mean(sim.now) == pytest.approx(0.25)
+
+
+def test_utilization_counts_idle_time_before_first_packet():
+    """Regression: the utilization probe anchors at link construction,
+    so a late first packet averages over the leading idle time instead
+    of starting the observation window at the first send."""
+    sim = Simulator()
+    link = make_link(sim, bandwidth_bytes_per_s=1e9, propagation_ns=0.0)
+    link.upstream.set_receiver(lambda tlp: None)
+
+    def late_sender():
+        yield sim.timeout(ns(3000))
+        link.upstream.send(
+            Tlp(TlpKind.MEM_WRITE, address=0, payload_bytes=976)
+        )
+
+    sim.process(late_sender())
+    sim.run()
+    # 1000 ns busy out of 4000 ns since t=0 -- not 1000/1000.
+    assert sim.now == ns(4000)
+    assert link.upstream.utilization.mean(sim.now) == pytest.approx(0.25)
+
+
+def test_packets_by_kind_and_useful_fraction_accumulate():
+    sim = Simulator()
+    link = make_link(sim, propagation_ns=0.0)
+    link.downstream.set_receiver(lambda tlp: None)
+    link.downstream.send(Tlp(TlpKind.MEM_READ, address=0, payload_bytes=0))
+    link.downstream.send(Tlp(TlpKind.MEM_READ, address=0, payload_bytes=0))
+    link.downstream.send(Tlp(TlpKind.MEM_WRITE, address=0, payload_bytes=8))
+    link.downstream.send(Tlp(TlpKind.COMPLETION, address=0, payload_bytes=64))
+    sim.run()
+    assert link.downstream.packets == 4
+    assert link.downstream.packets_by_kind == {
+        "MRd": 2, "MWr": 1, "CplD": 1,
+    }
+    wire = 4 * 24 + 8 + 64
+    assert link.downstream.wire_bytes == wire
+    assert link.downstream.useful_fraction() == pytest.approx(72 / wire)
+
+
+def test_idle_direction_reports_zero_useful_fraction():
+    sim = Simulator()
+    link = make_link(sim)
+    assert link.upstream.packets == 0
+    assert link.upstream.useful_fraction() == 0.0
+    assert link.upstream.utilization.mean(ns(1000)) == 0.0
+
+
 def test_saturated_direction_throughput_equals_bandwidth():
     sim = Simulator()
     link = make_link(sim, bandwidth_bytes_per_s=4e9, propagation_ns=10.0)

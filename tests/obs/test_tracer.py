@@ -1,0 +1,113 @@
+"""Unit tests for the tracer and the trace-format validator."""
+
+import pytest
+
+from repro.obs import TRACKS, TraceConfig, Tracer
+from repro.obs.validate import validate_trace
+
+
+def test_complete_event_converts_ticks_to_microseconds():
+    tracer = Tracer()
+    tracer.complete("rob", 1, 2, "rob-stall", 1_000_000, 3_500_000,
+                    args={"slots": 4})
+    (event,) = tracer.events
+    assert event["ph"] == "X"
+    assert event["ts"] == pytest.approx(1.0)
+    assert event["dur"] == pytest.approx(2.5)
+    assert event["pid"] == 1 and event["tid"] == 2
+    assert event["args"] == {"slots": 4}
+
+
+def test_track_filter_drops_unselected_tracks():
+    tracer = Tracer(TraceConfig(tracks=frozenset({"rob"})))
+    tracer.complete("rob", 1, 1, "rob-stall", 0, 10)
+    tracer.complete("lfb", 1, 1, "lfb-fill", 0, 10)
+    tracer.counter("pcie", 3, "txq", 0, {"queued": 1})
+    assert tracer.wants("rob") and not tracer.wants("lfb")
+    assert len(tracer.events) == 1
+    assert tracer.summary()["tracks"] == {"rob": 1}
+
+
+def test_sampling_keeps_one_in_n_per_name_but_never_counters():
+    tracer = Tracer(TraceConfig(sample_every=4))
+    for tick in range(8):
+        tracer.complete("lfb", 1, 1, "lfb-fill", tick, tick + 1)
+        tracer.counter("lfb", 1, "occupancy", tick, {"buffers": tick})
+    durations = [e for e in tracer.events if e["ph"] == "X"]
+    counters = [e for e in tracer.events if e["ph"] == "C"]
+    assert len(durations) == 2  # 1 in 4
+    assert len(counters) == 8  # counters are exempt
+
+
+def test_max_events_cap_drops_and_counts():
+    tracer = Tracer(TraceConfig(max_events=3))
+    for tick in range(5):
+        tracer.instant("sched", 1, 1, "tick", tick)
+    assert len(tracer.events) == 3
+    assert tracer.dropped == 2
+    assert tracer.to_dict()["otherData"]["dropped_events"] == 2
+
+
+def test_config_rejects_unknown_tracks_and_bad_values():
+    with pytest.raises(ValueError):
+        TraceConfig(tracks=frozenset({"bogus"}))
+    with pytest.raises(ValueError):
+        TraceConfig(sample_every=0)
+    with pytest.raises(ValueError):
+        TraceConfig(max_events=0)
+
+
+def test_from_track_list_parses_csv():
+    assert TraceConfig.from_track_list(None).tracks == TRACKS
+    assert TraceConfig.from_track_list("all").tracks == TRACKS
+    assert TraceConfig.from_track_list("rob, lfb").tracks == frozenset(
+        {"rob", "lfb"}
+    )
+
+
+def test_emitted_trace_validates():
+    tracer = Tracer()
+    tracer.process_name(1, "cores")
+    tracer.thread_name(1, 1, "core0 rob")
+    tracer.complete("rob", 1, 1, "rob-stall", 0, 100)
+    tracer.instant("swq", 4, 2, "doorbell", 50)
+    tracer.counter("queues", 2, "uncore.device-q", 60, {"in_use": 3})
+    assert validate_trace(tracer.to_dict()) == []
+
+
+def test_validator_catches_malformed_events():
+    assert validate_trace([]) == ["top level must be a JSON object"]
+    assert validate_trace({}) == ["traceEvents must be a list"]
+    bad = {
+        "traceEvents": [
+            {"name": "", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 1},
+            {"name": "x", "ph": "Z", "pid": 1, "tid": 1, "ts": 0},
+            {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": -5, "dur": 1},
+            {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0},
+            {"name": "c", "ph": "C", "pid": 1, "tid": 0, "ts": 0,
+             "args": {"v": "high"}},
+            {"name": "i", "ph": "i", "pid": 1, "tid": 1, "ts": 0, "s": "x"},
+            {"name": "meta", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "x"}},
+        ]
+    }
+    errors = validate_trace(bad)
+    assert len(errors) == 7
+    assert any("non-empty string" in error for error in errors)
+    assert any("'ph' 'Z'" in error for error in errors)
+    assert any("non-negative" in error for error in errors)
+    assert any("'dur'" in error for error in errors)
+    assert any("must be a number" in error for error in errors)
+    assert any("scope" in error for error in errors)
+    assert any("metadata" in error for error in errors)
+
+
+def test_write_and_validate_file(tmp_path):
+    from repro.obs.validate import validate_file
+
+    tracer = Tracer()
+    tracer.complete("rob", 1, 1, "stall", 0, 10)
+    path = tmp_path / "trace.json"
+    tracer.write(str(path))
+    assert validate_file(str(path)) == []
+    assert validate_file(str(tmp_path / "missing.json"))

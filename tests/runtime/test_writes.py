@@ -12,7 +12,7 @@ from repro.config import (
 from repro.errors import SimulationError
 from repro.host.system import System
 from repro.units import to_ns, us
-from repro.workloads.microbench import MicrobenchSpec, install_microbench
+from repro.workloads.microbench import MicrobenchSpec
 
 
 def build(mechanism=AccessMechanism.PREFETCH, **overrides):

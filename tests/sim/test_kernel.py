@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim import Simulator, all_of, any_of
-from repro.sim.kernel import Event
 
 
 def test_timeout_advances_clock():

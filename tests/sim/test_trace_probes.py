@@ -61,6 +61,66 @@ def test_latency_stat_empty():
     assert math.isnan(stat.percentile(50))
 
 
+def test_time_weighted_anchors_at_first_update():
+    # Regression: a probe created mid-run must average over
+    # [first update, now], not [0, now] -- dividing by t-from-zero
+    # understated every mid-run mean.
+    stat = TimeWeighted("util")
+    stat.update(1_000, 1.0)
+    stat.update(2_000, 0.0)
+    # Busy 1000 of the 2000 observed ticks: mean 0.5, not 1000/3000.
+    assert stat.mean(3_000) == pytest.approx(0.5)
+
+
+def test_time_weighted_mean_before_any_update_is_zero():
+    stat = TimeWeighted("util")
+    assert stat.mean(500) == 0.0
+    stat.update(100, 1.0)
+    # Zero elapsed observed time is still well-defined.
+    assert stat.mean(100) == 0.0
+
+
+def test_latency_stat_subsample_keeps_phase():
+    # Regression: after halving, the next retained sample must come
+    # exactly one (new) stride after the just-kept one.  The old
+    # ``count % stride`` test lost phase because the count at overflow
+    # is odd (1 + MAX_SAMPLES), so whole strides of samples could be
+    # skipped or doubled.
+    stat = LatencyStat("lat")
+    n = LatencyStat.MAX_SAMPLES + 1  # first overflow halves to stride 2
+    for value in range(1, n + 1):
+        stat.record(value)
+    assert stat._stride == 2
+    kept = len(stat._samples)
+    before = list(stat._samples)
+    # The very next recorded values land one new stride apart.
+    stat.record(n + 1)
+    assert len(stat._samples) == kept  # n+1 is off-stride: not kept
+    stat.record(n + 2)
+    assert len(stat._samples) == kept + 1 and stat._samples[-1] == n + 2
+    # Retained samples stay evenly spaced (every ``stride`` values).
+    assert before[1] - before[0] == stat._stride
+
+
+def test_latency_stat_window_excludes_warmup():
+    import math
+
+    probes = ProbeSet()
+    stat = probes.latency("lat")
+    stat.record(1_000_000)  # warmup sample: huge, must not pollute
+    probes.set_window_active(True)
+    stat.record(10)
+    stat.record(20)
+    probes.set_window_active(False)
+    stat.record(2_000_000)  # cooldown sample
+    assert stat.count == 4
+    assert stat.windowed_count == 2
+    assert stat.windowed_mean == pytest.approx(15)
+    probes.reset_windows()
+    assert stat.windowed_count == 0
+    assert math.isnan(stat.windowed_mean)
+
+
 def test_latency_stat_subsamples_beyond_cap():
     stat = LatencyStat("lat")
     n = LatencyStat.MAX_SAMPLES * 2 + 100

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import AccessMechanism, DeviceConfig, SystemConfig
+from repro.config import AccessMechanism, SystemConfig
 from repro.errors import ConfigError
 from repro.host.system import System
 from repro.units import us
