@@ -1,0 +1,170 @@
+"""Meta-benchmark: what observability costs, and that "off" is free.
+
+The observability layer (metrics registry, tracer hooks, invariant
+sanitizer) is built on the promise that a run with everything disabled
+pays nothing -- the hooks are ``None`` checks on hot paths.  This
+module measures the fig3 scenario's events/sec with observability off
+vs metrics / invariants / both enabled and writes the outcome to
+``benchmarks/results/BENCH_obs.json`` for PR-over-PR tracking.
+
+The regression gate is machine-independent: absolute wall times are
+incomparable across machines, so the "disabled path is still fast"
+check re-runs the kernel-vs-frozen-reference speedup measurement (the
+PR 2 contract tracked in ``benchmarks/kernel_baseline.json``) with the
+observability modules imported, and requires it to stay within 2% of
+that baseline's enforced floor.  Helpers are duplicated from
+``test_simulator_throughput.py`` rather than imported: ``benchmarks/``
+is not a package, so cross-module imports there depend on pytest's
+sys.path mode.
+"""
+
+import json
+import os
+import pathlib
+import statistics
+import time
+
+from repro.harness.experiment import MeasureWindow, run_microbench
+from repro.harness.sweep import MODEL_VERSION
+from repro.obs.runlog import git_sha
+from repro.obs.scenarios import trace_scenario
+from repro.sim import Simulator, Store, collect_kernel_stats
+from repro.sim import _reference
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = pathlib.Path(__file__).parent / "kernel_baseline.json"
+
+#: The fig3 quick-look workload: the paper's headline scenario on a
+#: short window, so four modes x several reps stay benchmark-sized.
+WINDOW = MeasureWindow(warmup_us=5.0, measure_us=20.0)
+
+_MODES = {
+    "disabled": {},
+    "metrics": {"collect_metrics": True},
+    "invariants": {"check_invariants": True},
+    "metrics+invariants": {"collect_metrics": True, "check_invariants": True},
+}
+
+
+def _run_mode(scenario, **kwargs):
+    with collect_kernel_stats() as kernel:
+        result = run_microbench(
+            scenario.config, scenario.spec, WINDOW, **kwargs
+        )
+    return result, kernel.stats()
+
+
+def _time_mode(scenario, reps=5, **kwargs):
+    walls = []
+    result = stats = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result, stats = _run_mode(scenario, **kwargs)
+        walls.append(time.perf_counter() - started)
+    return statistics.median(walls), result, stats
+
+
+def _event_loop(simulator_cls, store_cls, items=10_000):
+    """Same canonical kernel workload as test_simulator_throughput."""
+    sim = simulator_cls()
+    store = store_cls(sim, capacity=16)
+
+    def producer():
+        for i in range(items):
+            yield store.put(i)
+
+    def consumer():
+        total = 0
+        for _ in range(items):
+            total += yield store.get()
+        return total
+
+    sim.process(producer())
+    done = sim.process(consumer())
+    return sim.run(done)
+
+
+def _paired_speedup(fn_ref, fn_new, repeats=15):
+    """Median of per-pair wall ratios (frequency-drift robust)."""
+    ratios = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn_ref()
+        ref_s = time.perf_counter() - started
+        started = time.perf_counter()
+        fn_new()
+        new_s = time.perf_counter() - started
+        ratios.append(ref_s / new_s)
+    return statistics.median(ratios)
+
+
+def test_obs_overhead_writes_bench_json():
+    """Measure fig3-scenario events/sec per observability mode; every
+    mode must produce bit-for-bit the same simulation results."""
+    scenario = trace_scenario("fig3")
+    _run_mode(scenario)  # warm code paths before timing
+
+    modes = {}
+    reference_result = None
+    for mode, kwargs in _MODES.items():
+        wall, result, stats = _time_mode(scenario, **kwargs)
+        modes[mode] = {
+            "wall_s": wall,
+            "events_fired": stats["events_fired"],
+            "events_per_sec": stats["events_fired"] / wall,
+        }
+        if reference_result is None:
+            reference_result = result
+        else:
+            # Observers are passive: identical model outputs in every mode.
+            assert result.work_ipc == reference_result.work_ipc
+            assert result.stats.accesses == reference_result.stats.accesses
+            assert (
+                stats["events_fired"] >= modes["disabled"]["events_fired"]
+            )
+
+    disabled = modes["disabled"]["events_per_sec"]
+    payload = {
+        "schema": "repro-obs-bench-v1",
+        "git_sha": git_sha(),
+        "model_version": MODEL_VERSION,
+        "workload": (
+            f"fig3 scenario ({scenario.config.describe()}, "
+            f"{WINDOW.warmup_us:g}+{WINDOW.measure_us:g} us window)"
+        ),
+        "modes": modes,
+        "overhead_vs_disabled": {
+            mode: disabled / data["events_per_sec"]
+            for mode, data in modes.items()
+            if mode != "disabled"
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    # Sanity only (absolute ratios are noisy on shared machines): the
+    # fully-instrumented mode must not be catastrophically slower.
+    assert payload["overhead_vs_disabled"]["metrics+invariants"] < 10
+
+
+def test_disabled_path_keeps_kernel_speedup_within_2pct():
+    """Acceptance gate: with the observability layer imported but
+    disabled, the kernel's speedup over the frozen reference stays
+    within 2% of the PR 2 benchmark floor.  Wall-clock-independent:
+    both kernels run back to back on this machine."""
+    run_new = lambda: _event_loop(Simulator, Store)
+    run_ref = lambda: _event_loop(_reference.Simulator, _reference.Store)
+    assert run_new() == run_ref() == sum(range(10_000))
+
+    speedup = _paired_speedup(run_ref, run_new)
+    assert speedup >= 0.98 * 1.3, (
+        f"kernel speedup collapsed with obs layer loaded: {speedup:.2f}x"
+    )
+    if os.environ.get("REPRO_KERNEL_BENCH_ENFORCE"):
+        baseline = json.loads(BASELINE_PATH.read_text())
+        floor = 0.98 * max(2.0, 0.7 * baseline["speedup_vs_reference"])
+        assert speedup >= floor, (
+            f"disabled-path regression: {speedup:.2f}x vs reference, "
+            f"2%-tolerance floor {floor:.2f}x"
+        )

@@ -16,7 +16,8 @@ import time
 from repro.config import AccessMechanism, DeviceConfig, SystemConfig
 from repro.harness.experiment import MeasureWindow, run_microbench
 from repro.harness.figures import fig3
-from repro.harness.sweep import SweepEngine
+from repro.harness.sweep import MODEL_VERSION, SweepEngine
+from repro.obs.runlog import git_sha
 from repro.sim import Simulator, Store, collect_kernel_stats
 from repro.sim import _reference
 from repro.workloads.microbench import MicrobenchSpec
@@ -144,7 +145,10 @@ def test_kernel_speedup_vs_reference_writes_bench_json():
 
     baseline = json.loads(BASELINE_PATH.read_text())
     payload = {
-        "schema": "repro-kernel-bench-v1",
+        "schema": "repro-kernel-bench-v2",
+        # Provenance: which commit and model produced these numbers.
+        "git_sha": git_sha(),
+        "model_version": MODEL_VERSION,
         "workload": "event_loop (producer/consumer, 10k items, Store cap 16)",
         "reference": {
             "wall_s": ref_wall,

@@ -4,11 +4,18 @@
 
     python -m repro run --mechanism prefetch --threads 10 --latency-us 1
     python -m repro run --mechanism software-queue --threads 24 --cores 4
-    python -m repro figure fig3 --scale quick --jobs 4
-    python -m repro sweep fig3 --scale full --jobs 8
+    python -m repro figure fig3 --scale quick --jobs 4 --check-invariants
+    python -m repro sweep fig3 --scale full --jobs 8 --progress
     python -m repro trace --figure fig7 --out trace.json --tracks swq,pcie
     python -m repro app memcached --mechanism prefetch --threads 8
+    python -m repro runs list
+    python -m repro runs diff -2 -1
     python -m repro list
+
+Every ``run``/``figure``/``sweep``/``app``/``profile``/``trace``
+invocation appends a provenance record to ``.repro_runs/ledger.jsonl``
+(disable with ``REPRO_NO_LEDGER=1``, relocate with ``REPRO_RUNS_DIR``);
+``repro runs list/show/diff`` inspects it.
 """
 
 from __future__ import annotations
@@ -27,11 +34,13 @@ from repro.config import (
     SystemConfig,
     UncoreConfig,
 )
+from repro.config import stable_digest
 from repro.harness.applications import APPLICATIONS, normalized_application
 from repro.harness.experiment import MeasureWindow, normalized_microbench
 from repro.harness.figures import ALL_FIGURES
 from repro.harness.report import render_chart, render_table, to_csv
-from repro.harness.sweep import SweepEngine
+from repro.harness.sweep import MODEL_VERSION, SweepEngine
+from repro.obs import runlog
 from repro.obs.scenarios import TRACE_SCENARIOS
 from repro.workloads.microbench import MicrobenchSpec
 
@@ -78,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N", help="hard cap on recorded events")
     trace.add_argument("--quick", action="store_true",
                        help="short 5+20 us window (CI smoke runs)")
+    trace.add_argument("--check-invariants", action="store_true",
+                       help="run the online invariant sanitizer alongside "
+                            "the traced run (passive; trace unchanged)")
 
     figure = commands.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=sorted(ALL_FIGURES))
@@ -107,6 +119,35 @@ def build_parser() -> argparse.ArgumentParser:
     app.add_argument("--threads", type=int, default=8)
     app.add_argument("--cores", type=int, default=1)
     app.add_argument("--latency-us", type=float, default=1.0)
+    app.add_argument("--check-invariants", action="store_true",
+                     help="run the online invariant sanitizer alongside "
+                          "the simulation (passive; results unchanged)")
+
+    runs = commands.add_parser(
+        "runs",
+        help="inspect the provenance ledger (.repro_runs/ledger.jsonl)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    runs_list.add_argument("--limit", type=int, default=20, metavar="N",
+                           help="show the most recent N runs (default 20)")
+    runs_show = runs_sub.add_parser(
+        "show", help="print one ledger entry as JSON"
+    )
+    runs_show.add_argument(
+        "ref", help="run index (0 oldest, -1 newest) or run-id prefix"
+    )
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        help="diff two recorded runs (figure series, kernel stats, "
+             "digests); exits 1 on any deviation",
+    )
+    runs_diff.add_argument("a", help="baseline run (index or run-id prefix)")
+    runs_diff.add_argument("b", help="current run (index or run-id prefix)")
+    runs_diff.add_argument("--rtol", type=float, default=0.0,
+                           help="relative tolerance (default 0: exact)")
+    runs_diff.add_argument("--atol", type=float, default=0.0,
+                           help="absolute tolerance (default 0: exact)")
 
     profile = commands.add_parser(
         "profile",
@@ -147,6 +188,9 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--attachment", choices=sorted(_ATTACHMENTS), default="pcie")
     parser.add_argument("--warmup-us", type=float, default=30.0)
     parser.add_argument("--measure-us", type=float, default=100.0)
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="run the online invariant sanitizer alongside "
+                             "the simulation (passive; results unchanged)")
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -166,13 +210,30 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         default=os.environ.get("REPRO_CACHE_DIR", ".repro_cache"),
         help="result-cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
     )
+    parser.add_argument(
+        "--check-invariants", action="store_true",
+        help="run the online invariant sanitizer inside every sweep job "
+             "(passive; series unchanged, but cached separately)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render live per-job progress (done/total, cache hits, "
+             "ETA) on stderr while the sweep runs",
+    )
 
 
 def _engine_from_args(args: argparse.Namespace) -> SweepEngine:
+    progress = None
+    if args.progress:
+        from repro.harness.progress import SweepProgress
+
+        progress = SweepProgress()
     return SweepEngine(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        check_invariants=args.check_invariants,
+        progress=progress,
     )
 
 
@@ -190,7 +251,7 @@ def _system_config(args: argparse.Namespace) -> SystemConfig:
     )
 
 
-def _command_run(args: argparse.Namespace, out) -> int:
+def _command_run(args: argparse.Namespace, out, record=None) -> int:
     config = _system_config(args)
     spec = MicrobenchSpec(
         work_count=args.work,
@@ -199,9 +260,21 @@ def _command_run(args: argparse.Namespace, out) -> int:
     )
     window = MeasureWindow(warmup_us=args.warmup_us, measure_us=args.measure_us)
     normalized, result = normalized_microbench(
-        config, spec, window, collect_metrics=bool(args.metrics)
+        config, spec, window,
+        collect_metrics=bool(args.metrics),
+        check_invariants=args.check_invariants,
     )
     report = result.report
+    if record is not None:
+        record["config_digest"] = stable_digest(config, spec, window)
+        record["check_invariants"] = args.check_invariants
+        record["results"] = {
+            "normalized": normalized,
+            "work_ipc": result.work_ipc,
+            "accesses": result.stats.accesses,
+        }
+        if args.metrics:
+            record["metrics_digest"] = runlog.digest_of(report["metrics"])
     print(f"configuration : {config.describe()}", file=out)
     print(f"work-count    : {spec.work_count}  (MLP {spec.reads_per_batch}, "
           f"{spec.writes_per_batch} writes/iter)", file=out)
@@ -224,7 +297,7 @@ def _command_run(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _command_trace(args: argparse.Namespace, out) -> int:
+def _command_trace(args: argparse.Namespace, out, record=None) -> int:
     from repro.harness.experiment import run_microbench
     from repro.obs import TraceConfig, Tracer
     from repro.obs.scenarios import trace_scenario
@@ -239,10 +312,23 @@ def _command_trace(args: argparse.Namespace, out) -> int:
     )
     tracer = Tracer(trace_config)
     result = run_microbench(
-        scenario.config, scenario.spec, window, tracer=tracer
+        scenario.config, scenario.spec, window, tracer=tracer,
+        check_invariants=args.check_invariants,
     )
     tracer.write(args.out)
     summary = tracer.summary()
+    if record is not None:
+        record["scenario"] = args.figure
+        record["config_digest"] = stable_digest(
+            scenario.config, scenario.spec, window
+        )
+        record["check_invariants"] = args.check_invariants
+        record["results"] = {
+            "work_ipc": result.work_ipc,
+            "events": summary["events"],
+            "dropped": summary["dropped"],
+        }
+        record["trace_digest"] = runlog.digest_of(tracer.to_dict())
     print(f"scenario      : {args.figure} -- {scenario.description}", file=out)
     print(f"configuration : {scenario.config.describe()}", file=out)
     print(f"window        : {window.warmup_us:g} us warmup + "
@@ -262,8 +348,33 @@ def _command_trace(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _command_figure(args: argparse.Namespace, out) -> int:
-    figure = ALL_FIGURES[args.name](args.scale, engine=_engine_from_args(args))
+def _record_figure_result(record, args, figure, engine) -> None:
+    """Stash a figure run's deterministic outputs in its ledger entry."""
+    if record is None:
+        return
+    from repro.harness.regression import figure_to_dict
+
+    payload = figure_to_dict(figure)
+    record["figure"] = {
+        "name": args.name,
+        "scale": args.scale,
+        "payload": payload,
+        "series_digests": {
+            label: runlog.digest_of(points)
+            for label, points in payload["series"].items()
+        },
+    }
+    record["config_digest"] = runlog.digest_of(
+        {"figure": args.name, "scale": args.scale}
+    )
+    record["check_invariants"] = args.check_invariants
+    record["sweep"] = dict(engine.last_stats)
+
+
+def _command_figure(args: argparse.Namespace, out, record=None) -> int:
+    engine = _engine_from_args(args)
+    figure = ALL_FIGURES[args.name](args.scale, engine=engine)
+    _record_figure_result(record, args, figure, engine)
     print(render_table(figure), file=out)
     if args.chart:
         print(render_chart(figure), file=out)
@@ -291,11 +402,12 @@ def _command_figure(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _command_sweep(args: argparse.Namespace, out) -> int:
+def _command_sweep(args: argparse.Namespace, out, record=None) -> int:
     engine = _engine_from_args(args)
     started = time.perf_counter()
     figure = ALL_FIGURES[args.name](args.scale, engine=engine)
     wall = time.perf_counter() - started
+    _record_figure_result(record, args, figure, engine)
     print(render_table(figure), file=out)
     stats = engine.last_stats
     per_job = engine.probes.latency("sweep-job-wall-ns")
@@ -315,14 +427,25 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _command_app(args: argparse.Namespace, out) -> int:
+def _command_app(args: argparse.Namespace, out, record=None) -> int:
     config = SystemConfig(
         mechanism=_MECHANISMS[args.mechanism],
         cores=args.cores,
         threads_per_core=args.threads,
         device=DeviceConfig(total_latency_us=args.latency_us),
     )
-    normalized, run = normalized_application(config, args.name)
+    normalized, run = normalized_application(
+        config, args.name, check_invariants=args.check_invariants
+    )
+    if record is not None:
+        record["app"] = args.name
+        record["config_digest"] = stable_digest(config)
+        record["check_invariants"] = args.check_invariants
+        record["results"] = {
+            "normalized": normalized,
+            "operations": run.operations,
+            "ticks": run.ticks,
+        }
     print(f"application   : {args.name}", file=out)
     print(f"configuration : {config.describe()}", file=out)
     print(f"operations    : {run.operations}", file=out)
@@ -331,7 +454,7 @@ def _command_app(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _command_profile(args: argparse.Namespace, out) -> int:
+def _command_profile(args: argparse.Namespace, out, record=None) -> int:
     import cProfile
     import pstats
 
@@ -352,15 +475,23 @@ def _command_profile(args: argparse.Namespace, out) -> int:
         label = f"microbench: {config.describe()}"
 
         def workload():
-            run_microbench(config, spec, window)
+            run_microbench(
+                config, spec, window,
+                check_invariants=args.check_invariants,
+            )
     else:
         # jobs=1 + no cache keeps every simulation in this process, where
         # the profiler and the stats collector can see it.
-        engine = SweepEngine(jobs=1, use_cache=False)
+        engine = SweepEngine(
+            jobs=1, use_cache=False, check_invariants=args.check_invariants
+        )
         label = f"{args.target} --scale {args.scale}"
 
         def workload():
             ALL_FIGURES[args.target](args.scale, engine=engine)
+    if record is not None:
+        record["profiled"] = label
+        record["check_invariants"] = args.check_invariants
 
     profiler = cProfile.Profile()
     with collect_kernel_stats() as kernel:
@@ -390,6 +521,100 @@ def _command_profile(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_runs(args: argparse.Namespace, out) -> int:
+    import json
+
+    ledger = runlog.RunLedger()
+    if args.runs_command == "list":
+        entries = ledger.entries()
+        if not entries:
+            print(f"no runs recorded in {ledger.path}", file=out)
+            return 0
+        start = max(0, len(entries) - max(args.limit, 0))
+        for index in range(start, len(entries)):
+            entry = entries[index]
+            stamp = time.strftime(
+                "%Y-%m-%d %H:%M:%S",
+                time.localtime(entry.get("timestamp", 0)),
+            )
+            argv = " ".join(str(arg) for arg in entry.get("argv", []))
+            print(f"{index:>4}  {entry.get('run_id', '?'):<12}  {stamp}  "
+                  f"status={entry.get('status')}  "
+                  f"{entry.get('wall_s', 0.0):7.2f}s  repro {argv}", file=out)
+        return 0
+    if args.runs_command == "show":
+        entry = ledger.resolve(args.ref)
+        json.dump(entry, out, indent=2, sort_keys=True)
+        out.write("\n")
+        return 0
+    base = ledger.resolve(args.a)
+    current = ledger.resolve(args.b)
+    return _diff_runs(base, current, args.rtol, args.atol, out)
+
+
+def _diff_runs(base: dict, current: dict, rtol: float, atol: float,
+               out) -> int:
+    """Diff the deterministic sections of two ledger entries.
+
+    Wall time, timestamps and cache-hit counts legitimately differ
+    between identical runs, so the comparison covers only what must
+    reproduce: figure series (with tolerance), kernel event counts,
+    result numbers, and the config/metrics/trace digests.
+    """
+    from repro.errors import ConfigError
+    from repro.harness.regression import (
+        compare_mappings,
+        compare_to_baseline,
+        figure_from_dict,
+    )
+
+    for role, entry in (("base", base), ("current", current)):
+        argv = " ".join(str(arg) for arg in entry.get("argv", []))
+        print(f"{role:<7} : {entry.get('run_id', '?')}  repro {argv}",
+              file=out)
+    notes: list[str] = []
+    for key in ("command", "model_version", "git_sha", "config_digest",
+                "metrics_digest", "trace_digest", "status"):
+        if base.get(key) != current.get(key):
+            notes.append(f"{key}: {base.get(key)!r} -> {current.get(key)!r}")
+    deviations = []
+    base_fig = (base.get("figure") or {}).get("payload")
+    current_fig = (current.get("figure") or {}).get("payload")
+    if base_fig and current_fig:
+        try:
+            deviations += compare_to_baseline(
+                figure_from_dict(current_fig), figure_from_dict(base_fig),
+                rtol=rtol, atol=atol,
+            )
+        except ConfigError as error:
+            notes.append(str(error))
+    elif bool(base_fig) != bool(current_fig):
+        notes.append("figure series recorded in only one of the runs")
+    deviations += compare_mappings(
+        current.get("kernel_stats") or {}, base.get("kernel_stats") or {},
+        rtol=rtol, atol=atol, label="kernel_stats",
+    )
+    deviations += compare_mappings(
+        (current.get("sweep") or {}).get("kernel_stats") or {},
+        (base.get("sweep") or {}).get("kernel_stats") or {},
+        rtol=rtol, atol=atol, label="sweep.kernel_stats",
+    )
+    deviations += compare_mappings(
+        current.get("results") or {}, base.get("results") or {},
+        rtol=rtol, atol=atol, label="results",
+    )
+    for note in notes:
+        print(f"  {note}", file=out)
+    for deviation in deviations:
+        print(f"  {deviation.describe()}", file=out)
+    total = len(notes) + len(deviations)
+    if total:
+        print(f"{total} deviation(s)", file=out)
+        return 1
+    print("runs match: no deviations", file=out)
+    return 0
+
+
 def _command_list(out) -> int:
     print("figures:", file=out)
     for name in sorted(ALL_FIGURES):
@@ -400,32 +625,72 @@ def _command_list(out) -> int:
     return 0
 
 
+#: Commands that append a provenance record to the run ledger.
+_RECORDED_COMMANDS = frozenset(
+    {"run", "trace", "figure", "sweep", "app", "profile"}
+)
+
+
+def _dispatch(args: argparse.Namespace, out, record) -> int:
+    if args.command == "run":
+        return _command_run(args, out, record)
+    if args.command == "trace":
+        return _command_trace(args, out, record)
+    if args.command == "figure":
+        return _command_figure(args, out, record)
+    if args.command == "sweep":
+        return _command_sweep(args, out, record)
+    if args.command == "app":
+        return _command_app(args, out, record)
+    if args.command == "profile":
+        return _command_profile(args, out, record)
+    if args.command == "runs":
+        return _command_runs(args, out)
+    if args.command == "list":
+        return _command_list(out)
+    if args.command == "table1":
+        from repro.taxonomy import render_table_i
+
+        print(render_table_i(), file=out)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if out is None:
         out = sys.stdout
     args = build_parser().parse_args(argv)
     try:
-        if args.command == "run":
-            return _command_run(args, out)
-        if args.command == "trace":
-            return _command_trace(args, out)
-        if args.command == "figure":
-            return _command_figure(args, out)
-        if args.command == "sweep":
-            return _command_sweep(args, out)
-        if args.command == "app":
-            return _command_app(args, out)
-        if args.command == "profile":
-            return _command_profile(args, out)
-        if args.command == "list":
-            return _command_list(out)
-        if args.command == "table1":
-            from repro.taxonomy import render_table_i
+        if (args.command not in _RECORDED_COMMANDS
+                or not runlog.RunLedger.enabled()):
+            return _dispatch(args, out, None)
+        from repro.sim import collect_kernel_stats
 
-            print(render_table_i(), file=out)
-            return 0
+        record = {
+            "command": args.command,
+            "argv": (list(argv) if argv is not None
+                     else list(sys.argv[1:])),
+            "model_version": MODEL_VERSION,
+            "git_sha": runlog.git_sha(),
+        }
+        started = time.perf_counter()
+        try:
+            with collect_kernel_stats() as kernel:
+                status = _dispatch(args, out, record)
+        except Exception as error:
+            # Failed runs are part of the provenance story too; record
+            # the failure, then let the error propagate unchanged.
+            record["status"] = "error"
+            record["error"] = f"{type(error).__name__}: {error}"
+            record["wall_s"] = round(time.perf_counter() - started, 6)
+            runlog.RunLedger().record(record)
+            raise
+        record["status"] = status
+        record["wall_s"] = round(time.perf_counter() - started, 6)
+        record["kernel_stats"] = kernel.stats()
+        runlog.RunLedger().record(record)
+        return status
     except BrokenPipeError:
         # Downstream pager/head closed the pipe: exit quietly, like a
         # well-behaved Unix tool.
         return 0
-    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

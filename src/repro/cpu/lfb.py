@@ -87,6 +87,12 @@ class LineFillBuffers:
         return len(self._entries)
 
     @property
+    def occupied(self) -> int:
+        """Buffers actually granted (``in_flight`` additionally counts
+        misses still queued for a buffer); never exceeds capacity."""
+        return self._slots.in_use
+
+    @property
     def max_in_flight(self) -> int:
         return self._slots.max_in_use
 

@@ -48,6 +48,10 @@ class ReorderBuffer:
         self._idle_waiters: list[Event] = []
         self.max_used = 0
         self.retired_groups = 0
+        # Slot-level dispatch/retire accounting: the invariant monitor
+        # checks ``allocated_slots - retired_slots == used``.
+        self.allocated_slots = 0
+        self.retired_slots = 0
         #: Optional observability hooks (attached by the System when a
         #: trace is requested); None keeps the hot path untouched.
         self.tracer = None
@@ -67,6 +71,12 @@ class ReorderBuffer:
         registry.register(
             f"{prefix}.retired_groups", lambda: self.retired_groups
         )
+        registry.register(
+            f"{prefix}.allocated_slots", lambda: self.allocated_slots
+        )
+        registry.register(
+            f"{prefix}.retired_slots", lambda: self.retired_slots
+        )
 
     @property
     def used(self) -> int:
@@ -83,6 +93,7 @@ class ReorderBuffer:
             raise SimulationError("allocation must be positive")
         if self.free >= slots and not self._waiters:
             self.free -= slots
+            self.allocated_slots += slots
         else:
             grant = Event(self.sim)
             self._waiters.append((slots, grant))
@@ -118,6 +129,7 @@ class ReorderBuffer:
             if not done.fired:
                 yield done
             self.free += slots
+            self.retired_slots += slots
             if self.free > self.capacity:  # pragma: no cover - invariant
                 raise SimulationError(f"{self.name}: retired more than allocated")
             self.retired_groups += 1
@@ -142,6 +154,7 @@ class ReorderBuffer:
         while self._waiters and self._waiters[0][0] <= self.free:
             slots, grant = self._waiters.popleft()
             self.free -= slots
+            self.allocated_slots += slots
             grant.succeed(None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

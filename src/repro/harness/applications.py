@@ -119,15 +119,32 @@ def run_application(
     name: str,
     params=None,
     threads_per_core: Optional[int] = None,
+    check_invariants: bool = False,
 ) -> AppRun:
-    """Run one application to completion on ``config``."""
+    """Run one application to completion on ``config``.
+
+    ``check_invariants`` (or :func:`repro.testing.enforce_invariants`)
+    runs the online sanitizer alongside the simulation; it is a passive
+    observer, so timings are bit-for-bit unchanged.
+    """
+    from repro.obs import invariants
+
     if params is None:
         params = default_params(name)
     if threads_per_core is None:
         threads_per_core = config.threads_per_core
-    system = System(config)
+    monitor = None
+    tracer = None
+    if check_invariants or invariants.forced():
+        monitor = invariants.InvariantMonitor()
+        tracer = monitor
+    system = System(config, tracer=tracer)
+    if monitor is not None:
+        monitor.attach(system)
     operations = _install(system, name, params, threads_per_core)
     ticks = system.run_to_completion(limit_ticks=_RUN_LIMIT_TICKS)
+    if monitor is not None:
+        monitor.check_now()
     return AppRun(name, config, ticks, operations)
 
 
@@ -168,10 +185,18 @@ def normalized_application(
     name: str,
     params=None,
     threads_per_core: Optional[int] = None,
+    check_invariants: bool = False,
 ) -> tuple[float, AppRun]:
-    """Per-operation speedup over the single-thread DRAM baseline."""
+    """Per-operation speedup over the single-thread DRAM baseline.
+
+    ``check_invariants`` sanitizes the measured run only (the baseline
+    runs the same model, so checking it too would only double the cost).
+    """
     if params is None:
         params = default_params(name)
-    run = run_application(config, name, params, threads_per_core)
+    run = run_application(
+        config, name, params, threads_per_core,
+        check_invariants=check_invariants,
+    )
     baseline = _APP_BASELINES.get(config, name, params)
     return baseline.ticks_per_operation / run.ticks_per_operation, run

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.config import AccessMechanism, BackingStore, SystemConfig
 from repro.errors import SimulationError
+from repro.obs import invariants
 from repro.host.driver import PlatformConfig
 from repro.host.system import System, WindowStats
 from repro.units import us
@@ -72,17 +73,34 @@ def run_microbench(
     platform: Optional[PlatformConfig] = None,
     tracer=None,
     collect_metrics: bool = False,
+    check_invariants: bool = False,
 ) -> MicrobenchResult:
     """Run the (free-running) microbenchmark and measure one window.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records a structured
     timeline of the run; ``collect_metrics`` adds the full registry
-    snapshot to the result's report under ``"metrics"``.
+    snapshot to the result's report under ``"metrics"``;
+    ``check_invariants`` runs the online sanitizer
+    (:class:`repro.obs.invariants.InvariantMonitor`) alongside the
+    simulation -- a passive observer, so results are bit-for-bit
+    unchanged, but a broken conservation law raises an
+    :class:`~repro.obs.invariants.InvariantViolation`.  The sanitizer
+    is also force-enabled process-wide by
+    :func:`repro.testing.enforce_invariants`.
     """
+    monitor = None
+    if check_invariants or invariants.forced():
+        monitor = invariants.InvariantMonitor()
+        tracer = monitor.tee(tracer)
     system = System(config, platform=platform, tracer=tracer)
+    if monitor is not None:
+        monitor.attach(system)
     install_microbench(system, spec, config.threads_per_core)
     stats = system.run_window(window.warmup_ticks, window.measure_ticks)
     report = system.report()
+    if monitor is not None:
+        monitor.check_now()
+        report["invariants"] = monitor.summary()
     if collect_metrics:
         report["metrics"] = system.metrics_snapshot()
     return MicrobenchResult(config, spec, stats, report)
@@ -163,15 +181,23 @@ def normalized_microbench(
     platform: Optional[PlatformConfig] = None,
     baselines: Optional[BaselineCache] = None,
     collect_metrics: bool = False,
+    check_invariants: bool = False,
 ) -> tuple[float, MicrobenchResult]:
     """Normalized work IPC (the paper's headline metric) plus the run.
 
     The baseline matches the run's work-count *and* MLP: "the
     microsecond-latency device results are normalized to the DRAM
     baseline with a matching degree of MLP" (section V-B).
+    ``check_invariants`` sanitizes the measured run (the baseline runs
+    the same model, so checking it too would only double the cost).
     """
     result = run_microbench(
-        config, spec, window, platform, collect_metrics=collect_metrics
+        config,
+        spec,
+        window,
+        platform,
+        collect_metrics=collect_metrics,
+        check_invariants=check_invariants,
     )
     baseline = microbench_baseline(config, spec, window, baselines)
     if baseline.work_ipc == 0:

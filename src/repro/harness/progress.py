@@ -1,0 +1,121 @@
+"""Live telemetry for multi-minute sweeps.
+
+A full-scale figure grid is hundreds of simulator runs; without
+feedback a ``repro figure fig10 --scale full`` is indistinguishable
+from a hang.  :class:`SweepProgress` receives per-job heartbeats from
+the :class:`~repro.harness.sweep.SweepEngine` -- done/total counts,
+cache hits, and worker liveness -- and renders a throttled one-line
+status with an EWMA-smoothed ETA.
+
+On a TTY the line redraws in place (``\\r``); on a pipe (CI logs) it
+prints at most one full line per ``min_interval_s`` so logs stay
+readable.  The reporter only ever *observes* completions, so enabling
+``--progress`` cannot change any result.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+__all__ = ["SweepProgress"]
+
+
+class SweepProgress:
+    """Renders sweep heartbeats to a stream (stderr by default)."""
+
+    #: Smoothing factor for the per-job wall EWMA: each new sample
+    #: carries 20%, so the ETA tracks drift without jumping on outliers.
+    ALPHA = 0.2
+
+    def __init__(
+        self,
+        stream=None,
+        min_interval_s: float = 0.2,
+        clock=time.monotonic,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._name = "sweep"
+        self._total = 0
+        self._done = 0
+        self._cache_hits = 0
+        self._workers = 1
+        self._ewma_s: Optional[float] = None
+        self._started = 0.0
+        self._last_render = float("-inf")
+        self._open_line = False
+
+    # -- engine hooks ------------------------------------------------------
+
+    def begin(
+        self, name: str, total: int, cache_hits: int, workers: int
+    ) -> None:
+        """A sweep starts: ``total`` jobs must simulate; ``cache_hits``
+        more were already served from the result cache."""
+        self._name = name
+        self._total = total
+        self._done = 0
+        self._cache_hits = cache_hits
+        self._workers = max(1, workers)
+        self._ewma_s = None
+        self._started = self._clock()
+        self._last_render = float("-inf")
+        self._render(active=0, force=True)
+
+    def job_done(self, wall_s: float, active: int = 0) -> None:
+        """One job finished after ``wall_s`` seconds; ``active`` workers
+        are still busy."""
+        self._done += 1
+        if self._ewma_s is None:
+            self._ewma_s = wall_s
+        else:
+            self._ewma_s += self.ALPHA * (wall_s - self._ewma_s)
+        self._render(active=active, force=self._done == self._total)
+
+    def heartbeat(self, active: int) -> None:
+        """Nothing finished, but the sweep is alive (poll-loop tick)."""
+        self._render(active=active)
+
+    def finish(self, stats: dict) -> None:
+        """The sweep completed; emit the final summary line."""
+        self._render(active=0, force=True)
+        if self._open_line:
+            print(file=self.stream)
+            self._open_line = False
+        print(
+            f"[{self._name}] done: {stats.get('simulated', self._done)} "
+            f"simulated, {stats.get('cache_hits', self._cache_hits)} cached, "
+            f"{stats.get('wall_s', self._clock() - self._started):.1f} s",
+            file=self.stream,
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def eta_s(self) -> Optional[float]:
+        """EWMA-based remaining wall time, None before the first sample."""
+        if self._ewma_s is None or self._done >= self._total:
+            return None
+        remaining = self._total - self._done
+        return self._ewma_s * remaining / self._workers
+
+    def _render(self, active: int, force: bool = False) -> None:
+        now = self._clock()
+        if not force and now - self._last_render < self.min_interval_s:
+            return
+        self._last_render = now
+        eta = self.eta_s()
+        eta_text = "--" if eta is None else f"{eta:.0f}s"
+        line = (
+            f"[{self._name}] {self._done}/{self._total} jobs, "
+            f"{self._cache_hits} cache hits, {active} active, "
+            f"eta {eta_text}"
+        )
+        if self._isatty:
+            print(f"\r{line:<70}", end="", file=self.stream, flush=True)
+            self._open_line = True
+        else:
+            print(line, file=self.stream, flush=True)

@@ -20,9 +20,11 @@ from repro.harness.figures import FigureResult
 
 __all__ = [
     "Deviation",
+    "compare_mappings",
     "compare_to_baseline",
     "figure_from_dict",
     "figure_to_dict",
+    "flatten_numeric",
     "load_baseline",
     "save_baseline",
 ]
@@ -82,13 +84,14 @@ class Deviation:
     kind: str  # "value" | "missing-point" | "new-point" | "missing-series" | "new-series"
 
     def describe(self) -> str:
+        at = "" if self.x is None else f" @ x={self.x:g}"
         if self.kind == "value":
             return (
-                f"{self.series} @ x={self.x:g}: {self.baseline_y:.4f} -> "
+                f"{self.series}{at}: {self.baseline_y:.4f} -> "
                 f"{self.current_y:.4f}"
             )
         if self.kind in ("missing-point", "new-point"):
-            return f"{self.series} @ x={self.x:g}: {self.kind}"
+            return f"{self.series}{at}: {self.kind}"
         return f"{self.series}: {self.kind}"
 
 
@@ -132,4 +135,59 @@ def compare_to_baseline(
             if abs(new_y - base_y) > atol + rtol * abs(base_y):
                 deviations.append(Deviation(label, x, base_y, new_y, "value"))
     deviations.sort(key=lambda d: (d.series, d.x if d.x is not None else -1))
+    return deviations
+
+
+def flatten_numeric(payload, prefix: str = "") -> dict[str, float]:
+    """Dotted-key view of every number in a nested dict.
+
+    Non-numeric leaves (strings, None, lists) are skipped: the run
+    ledger mixes deterministic counters with metadata like digests and
+    timestamps, and only the numbers are point-comparable.  Booleans
+    are skipped too -- ``True == 1`` would make flag flips look like
+    off-by-one counter drift.
+    """
+    flat: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            flat.update(flatten_numeric(value, f"{prefix}{key}."))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        flat[prefix[:-1]] = payload
+    return flat
+
+
+def compare_mappings(
+    current: dict,
+    baseline: dict,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+    label: str = "",
+) -> list[Deviation]:
+    """Diff two nested numeric mappings (kernel stats, metrics
+    snapshots) with the same tolerance rule as figure baselines.
+
+    The default tolerance is exact: these are event counts, and two
+    runs of the same model version on the same config must agree
+    bit-for-bit.  Pass ``rtol``/``atol`` when diffing across model
+    changes.  ``label`` prefixes every reported key (e.g. ``"metrics"``).
+    """
+    stem = f"{label}." if label else ""
+    base_flat = flatten_numeric(baseline)
+    new_flat = flatten_numeric(current)
+    deviations: list[Deviation] = []
+    for key in base_flat.keys() - new_flat.keys():
+        deviations.append(
+            Deviation(stem + key, None, base_flat[key], None, "missing-point")
+        )
+    for key in new_flat.keys() - base_flat.keys():
+        deviations.append(
+            Deviation(stem + key, None, None, new_flat[key], "new-point")
+        )
+    for key in base_flat.keys() & new_flat.keys():
+        base_y, new_y = base_flat[key], new_flat[key]
+        if abs(new_y - base_y) > atol + rtol * abs(base_y):
+            deviations.append(
+                Deviation(stem + key, None, base_y, new_y, "value")
+            )
+    deviations.sort(key=lambda d: d.series)
     return deviations

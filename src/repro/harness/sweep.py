@@ -61,6 +61,7 @@ from repro.config import (
 from repro.errors import ConfigError
 from repro.harness.applications import run_application
 from repro.harness.experiment import MeasureWindow, run_microbench
+from repro.sim import collect_kernel_stats
 from repro.sim.trace import ProbeSet
 from repro.workloads.microbench import MicrobenchSpec
 
@@ -75,9 +76,10 @@ __all__ = [
     "job_digest",
 ]
 
-#: Cache salt: bump whenever a model change alters simulator outputs,
-#: so every previously cached sweep result is invalidated at once.
-MODEL_VERSION = "1"
+#: Cache salt: bump whenever a model change alters simulator outputs
+#: *or the payload schema*, so every previously cached sweep result is
+#: invalidated at once.  "2": payloads grew per-job ``kernel_stats``.
+MODEL_VERSION = "2"
 
 
 @dataclass(frozen=True)
@@ -185,29 +187,50 @@ def baseline_job(job: SweepJob) -> SweepJob:
     return SweepJob(config=config, spec=spec, window=job.window)
 
 
-def _execute_job(job: SweepJob, collect_metrics: bool = False) -> dict:
-    """Run one job to a small JSON-able payload (worker entry point)."""
-    if job.app is not None:
-        run = run_application(job.config, job.app, job.params)
-        return {
-            "kind": "application",
-            "ticks": run.ticks,
-            "operations": run.operations,
-        }
-    result = run_microbench(
-        job.config, job.spec, job.window, collect_metrics=collect_metrics
-    )
-    stats = result.stats
-    payload = {
-        "kind": "microbench",
-        "work_ipc": stats.work_ipc,
-        "accesses": stats.accesses,
-        "ticks": stats.ticks,
-        "work_instructions": stats.work_instructions,
-        "cycles": stats.cycles,
-    }
-    if collect_metrics:
-        payload["metrics"] = result.report["metrics"]
+def _execute_job(
+    job: SweepJob,
+    collect_metrics: bool = False,
+    check_invariants: bool = False,
+) -> dict:
+    """Run one job to a small JSON-able payload (worker entry point).
+
+    Kernel counters are collected around the run and shipped in the
+    payload (``"kernel_stats"``), so the parent can report simulator
+    throughput even for work done in worker processes.
+    """
+    with collect_kernel_stats() as kernel:
+        if job.app is not None:
+            run = run_application(
+                job.config,
+                job.app,
+                job.params,
+                check_invariants=check_invariants,
+            )
+            payload = {
+                "kind": "application",
+                "ticks": run.ticks,
+                "operations": run.operations,
+            }
+        else:
+            result = run_microbench(
+                job.config,
+                job.spec,
+                job.window,
+                collect_metrics=collect_metrics,
+                check_invariants=check_invariants,
+            )
+            stats = result.stats
+            payload = {
+                "kind": "microbench",
+                "work_ipc": stats.work_ipc,
+                "accesses": stats.accesses,
+                "ticks": stats.ticks,
+                "work_instructions": stats.work_instructions,
+                "cycles": stats.cycles,
+            }
+            if collect_metrics:
+                payload["metrics"] = result.report["metrics"]
+    payload["kernel_stats"] = kernel.stats()
     return payload
 
 
@@ -290,6 +313,8 @@ class SweepEngine:
         retries: int = 1,
         probes: Optional[ProbeSet] = None,
         collect_metrics: bool = False,
+        check_invariants: bool = False,
+        progress=None,
     ) -> None:
         if jobs < 1:
             raise ConfigError("the sweep engine needs at least one worker")
@@ -297,10 +322,21 @@ class SweepEngine:
             raise ConfigError("retries cannot be negative")
         self.jobs = jobs
         self.collect_metrics = bool(collect_metrics)
-        # Metrics change the payload shape, so metric-bearing results
-        # must never share cache entries with plain ones: salt them
-        # into a disjoint key space.
-        self.salt = str(salt) + ("+metrics" if collect_metrics else "")
+        self.check_invariants = bool(check_invariants)
+        #: Optional :class:`repro.harness.progress.SweepProgress` (or
+        #: anything with its begin/job_done/heartbeat/finish hooks).
+        self.progress = progress
+        # Metrics and invariants change the payload (metrics add a
+        # snapshot; a monitored run's kernel counters include the watch
+        # process), so such results must never share cache entries with
+        # plain ones: salt them into disjoint key spaces.  A cached
+        # ``+inv`` entry was invariant-checked when first simulated;
+        # serving it from cache legitimately skips the re-check.
+        self.salt = (
+            str(salt)
+            + ("+metrics" if collect_metrics else "")
+            + ("+inv" if check_invariants else "")
+        )
         self.timeout_s = timeout_s
         self.retries = retries
         self.probes = probes if probes is not None else ProbeSet()
@@ -357,11 +393,26 @@ class SweepEngine:
                 self.probes.counter("sweep-cache-miss").add()
                 pending.append((key, job))
 
+        if self.progress is not None:
+            self.progress.begin(
+                name,
+                total=len(pending),
+                cache_hits=len(served_from_cache),
+                workers=self.jobs,
+            )
         executed, retries, fallbacks = self._execute(pending)
         for key, job in pending:
             results[key] = executed[key]
             if self.cache:
                 self.cache.store(key, job, self.salt, executed[key])
+
+        # Merge the kernel counters shipped inside each freshly
+        # executed payload: the parent now reports simulator totals
+        # even for work done in worker processes.
+        kernel_totals: dict[str, int] = {}
+        for key, _job in pending:
+            for stat, value in executed[key].get("kernel_stats", {}).items():
+                kernel_totals[stat] = kernel_totals.get(stat, 0) + value
 
         self.probes.counter("sweep-jobs").add(len(jobs))
         self.probes.counter("sweep-sim").add(len(pending))
@@ -376,7 +427,10 @@ class SweepEngine:
             "fallbacks": fallbacks,
             "workers": self.jobs,
             "wall_s": time.perf_counter() - started,
+            "kernel_stats": kernel_totals,
         }
+        if self.progress is not None:
+            self.progress.finish(self.last_stats)
         return [
             JobOutcome(
                 job=job,
@@ -405,49 +459,103 @@ class SweepEngine:
         results: dict[str, dict] = {}
         retries = fallbacks = 0
         wall = self.probes.latency("sweep-job-wall-ns")
+        progress = self.progress
         if self.jobs > 1 and len(pending) > 1:
             pool = self._make_pool(min(self.jobs, len(pending)))
             if pool is not None:
                 try:
-                    tickets = [
-                        (key, job,
-                         pool.apply_async(
-                             _execute_job, (job, self.collect_metrics)
-                         ),
-                         time.perf_counter())
-                        for key, job in pending
-                    ]
-                    for key, job, ticket, t0 in tickets:
-                        payload = None
-                        attempts = 0
-                        while payload is None:
-                            try:
-                                payload = ticket.get(self.timeout_s)
-                            except Exception:
-                                if attempts < self.retries:
-                                    attempts += 1
-                                    retries += 1
-                                    self.probes.counter("sweep-retry").add()
-                                    ticket = pool.apply_async(
-                                        _execute_job,
-                                        (job, self.collect_metrics),
-                                    )
-                                else:
-                                    fallbacks += 1
-                                    self.probes.counter("sweep-fallback").add()
-                                    payload = _execute_job(
-                                        job, self.collect_metrics
-                                    )
-                        wall.record(int((time.perf_counter() - t0) * 1e9))
-                        results[key] = payload
+                    return self._execute_pool(pool, pending, results, wall)
                 finally:
                     pool.terminate()
                     pool.join()
-                return results, retries, fallbacks
         for key, job in pending:
             t0 = time.perf_counter()
-            results[key] = _execute_job(job, self.collect_metrics)
-            wall.record(int((time.perf_counter() - t0) * 1e9))
+            results[key] = _execute_job(
+                job, self.collect_metrics, self.check_invariants
+            )
+            elapsed = time.perf_counter() - t0
+            wall.record(int(elapsed * 1e9))
+            if progress is not None:
+                progress.job_done(elapsed, active=0)
+        return results, retries, fallbacks
+
+    def _execute_pool(
+        self,
+        pool,
+        pending: list[tuple[str, SweepJob]],
+        results: dict[str, dict],
+        wall,
+    ) -> tuple[dict[str, dict], int, int]:
+        """Pool execution with a completion-order poll loop.
+
+        Polling (rather than a serial ``get`` per ticket, as earlier
+        revisions did) lets finished jobs report live progress while
+        slower ones run, and gives every ticket its own submission-time
+        deadline.  The retry-then-in-process-fallback semantics are
+        unchanged: a worker exception or a ``timeout_s`` overrun is
+        resubmitted up to ``retries`` times and then executed in the
+        parent, so a sweep always completes.
+        """
+        retries = fallbacks = 0
+        progress = self.progress
+        job_args = (self.collect_metrics, self.check_invariants)
+
+        def submit(job: SweepJob):
+            return pool.apply_async(_execute_job, (job,) + job_args)
+
+        state = {
+            key: {
+                "job": job,
+                "ticket": submit(job),
+                "t0": time.perf_counter(),
+                "attempts": 0,
+            }
+            for key, job in pending
+        }
+        open_keys = list(state)
+        while open_keys:
+            still_open: list[str] = []
+            harvested = False
+            for key in open_keys:
+                entry = state[key]
+                payload = None
+                failed = False
+                if entry["ticket"].ready():
+                    try:
+                        payload = entry["ticket"].get(0)
+                    except Exception:
+                        failed = True
+                elif time.perf_counter() - entry["t0"] > self.timeout_s:
+                    failed = True  # hung worker: abandon the ticket
+                else:
+                    still_open.append(key)
+                    continue
+                if failed:
+                    if entry["attempts"] < self.retries:
+                        entry["attempts"] += 1
+                        retries += 1
+                        self.probes.counter("sweep-retry").add()
+                        entry["ticket"] = submit(entry["job"])
+                        entry["t0"] = time.perf_counter()
+                        still_open.append(key)
+                        continue
+                    fallbacks += 1
+                    self.probes.counter("sweep-fallback").add()
+                    payload = _execute_job(entry["job"], *job_args)
+                results[key] = payload
+                harvested = True
+                elapsed = time.perf_counter() - entry["t0"]
+                wall.record(int(elapsed * 1e9))
+                if progress is not None:
+                    remaining = len(state) - len(results)
+                    progress.job_done(
+                        elapsed, active=min(self.jobs, remaining)
+                    )
+            open_keys = still_open
+            if open_keys and not harvested:
+                if progress is not None:
+                    progress.heartbeat(active=min(self.jobs, len(open_keys)))
+                time.sleep(0.01)
         return results, retries, fallbacks
 
     @staticmethod

@@ -47,6 +47,11 @@ class PcieDirection:
         self.payload_bytes = 0
         self.packets = 0
         self.packets_by_kind: dict[str, int] = {}
+        # TLP conservation accounting for the invariant monitor:
+        # ``tlps_sent == packets serialized + queued + (0|1 in the
+        # pump)`` and ``tlps_delivered <= packets`` at any stable tick.
+        self.tlps_sent = 0
+        self.tlps_delivered = 0
         #: Optional observability hooks (None keeps hot paths untouched).
         self.tracer = None
         self._trace_pid = 0
@@ -68,6 +73,10 @@ class PcieDirection:
         registry.register(f"{prefix}.wire_bytes", lambda: self.wire_bytes)
         registry.register(f"{prefix}.payload_bytes", lambda: self.payload_bytes)
         registry.register(f"{prefix}.packets", lambda: self.packets)
+        registry.register(f"{prefix}.tlps_sent", lambda: self.tlps_sent)
+        registry.register(
+            f"{prefix}.tlps_delivered", lambda: self.tlps_delivered
+        )
         registry.register(
             f"{prefix}.packets_by_kind", lambda: dict(self.packets_by_kind)
         )
@@ -86,6 +95,7 @@ class PcieDirection:
         """Enqueue ``tlp`` for transmission (never blocks the sender --
         posted semantics; backpressure appears as queueing delay)."""
         tlp.sent_at = self.sim.now
+        self.tlps_sent += 1
         self._queue.put(tlp)
 
     def _pump(self):
@@ -151,6 +161,7 @@ class PcieDirection:
     def _deliver(self, tlp: Tlp):
         def callback(_event) -> None:
             assert self._receiver is not None
+            self.tlps_delivered += 1
             self._receiver(tlp)
 
         return callback

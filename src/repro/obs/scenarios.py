@@ -100,6 +100,18 @@ TRACE_SCENARIOS: dict[str, TraceScenario] = {
         threads=16,
         mlp=4,
     ),
+    # Figure 10 sweeps whole applications; its free-running stand-in
+    # here is the 4-read microbenchmark on the figure's largest
+    # configuration (software-queue panel d), which exercises the same
+    # SWQ + multi-core contention the application panels measure.
+    "fig10": _scenario(
+        "software-queue 8-core x 4-thread at MLP 4: the application-"
+        "study configuration (4-read microbenchmark stand-in)",
+        AccessMechanism.SOFTWARE_QUEUE,
+        threads=4,
+        cores=8,
+        mlp=4,
+    ),
 }
 
 

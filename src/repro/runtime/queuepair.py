@@ -76,6 +76,10 @@ class QueuePair:
         self.descriptors_enqueued = 0
         self.completions_posted = 0
         self.max_request_depth = 0
+        # Credit-conservation accounting for the invariant monitor:
+        # enqueued == fetched + pending, posted == consumed + visible.
+        self.descriptors_fetched = 0
+        self.completions_consumed = 0
 
     def register_metrics(self, registry, prefix: str) -> None:
         registry.register(f"{prefix}.doorbells_rung", lambda: self.doorbells_rung)
@@ -87,6 +91,13 @@ class QueuePair:
         )
         registry.register(
             f"{prefix}.max_request_depth", lambda: self.max_request_depth
+        )
+        registry.register(
+            f"{prefix}.descriptors_fetched", lambda: self.descriptors_fetched
+        )
+        registry.register(
+            f"{prefix}.completions_consumed",
+            lambda: self.completions_consumed,
         )
 
     # -- host side -------------------------------------------------------------
@@ -110,6 +121,7 @@ class QueuePair:
     def pop_completion(self) -> Optional[Completion]:
         """Host: consume the oldest visible completion, if any."""
         if self._completions:
+            self.completions_consumed += 1
             return self._completions.popleft()
         return None
 
@@ -130,6 +142,7 @@ class QueuePair:
         batch: list[Descriptor] = []
         while self._requests and len(batch) < max_count:
             batch.append(self._requests.popleft())
+        self.descriptors_fetched += len(batch)
         return batch
 
     def device_set_doorbell_flag(self) -> None:

@@ -757,6 +757,23 @@ class Simulator:
         return (self.events_fired - self.heap_pops + self.processes_spawned
                 + len(self._runq))
 
+    def sanity_check(self) -> list[str]:
+        """Cheap structural checks of the scheduler's own state (used
+        by the invariant monitor; never called on the hot path)."""
+        problems: list[str] = []
+        if self.now < 0:
+            problems.append(f"clock is negative: {self.now}")
+        if self._heap and self._heap[0][0] < self.now:
+            problems.append(
+                f"heap holds a past tick {self._heap[0][0]} < now {self.now}"
+            )
+        if self.heap_pops > self.heap_pushes:
+            problems.append(
+                f"more heap pops ({self.heap_pops}) than pushes "
+                f"({self.heap_pushes})"
+            )
+        return problems
+
     def kernel_stats(self) -> dict[str, int]:
         """Snapshot of the kernel's hot-path counters."""
         return {

@@ -7,12 +7,35 @@ fakes.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional
 
 from repro.memory import FlatMemory
 from repro.sim import Event, Simulator
 
-__all__ = ["FixedLatencyTarget"]
+__all__ = ["FixedLatencyTarget", "enforce_invariants"]
+
+
+@contextmanager
+def enforce_invariants():
+    """Force the invariant sanitizer on for every run in the block.
+
+    Inside the context, every :func:`repro.harness.run_microbench` /
+    :func:`repro.harness.run_application` call attaches an
+    :class:`repro.obs.InvariantMonitor` as if ``check_invariants=True``
+    had been passed -- so a test exercising any harness path also
+    asserts the model's conservation laws.  Process-local only: sweep
+    worker processes must be asked explicitly via
+    ``SweepEngine(check_invariants=True)``.
+    """
+    from repro.obs import invariants
+
+    previous = invariants.forced()
+    invariants.set_forced(True)
+    try:
+        yield
+    finally:
+        invariants.set_forced(previous)
 
 
 class FixedLatencyTarget:

@@ -1,0 +1,13 @@
+"""Suite-wide fixtures.
+
+Every test gets a throwaway run-ledger directory: CLI tests call
+``repro.cli.main`` directly, and without this redirect they would
+append provenance records to the developer's real ``.repro_runs/``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_ledger(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "repro_runs"))

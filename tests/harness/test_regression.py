@@ -97,3 +97,52 @@ def test_cli_baseline_roundtrip(tmp_path):
         main(["figure", "fig3", "--compare-baseline", str(path)], out=out) == 0
     )
     assert "matches baseline" in out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Nested-mapping comparison (kernel stats, metrics snapshots)
+# ---------------------------------------------------------------------------
+
+def test_flatten_numeric_dotted_keys():
+    from repro.harness.regression import flatten_numeric
+
+    flat = flatten_numeric({
+        "kernel": {"events": 10, "nested": {"deep": 2.5}},
+        "label": "ignored",
+        "flag": True,
+        "empty": None,
+        "listy": [1, 2],
+        "top": 7,
+    })
+    assert flat == {
+        "kernel.events": 10,
+        "kernel.nested.deep": 2.5,
+        "top": 7,
+    }
+
+
+def test_compare_mappings_exact_by_default():
+    from repro.harness.regression import compare_mappings
+
+    base = {"kernel": {"events": 100, "pops": 40}}
+    assert compare_mappings(dict(base), base) == []
+    moved = {"kernel": {"events": 101, "pops": 40}}
+    deviations = compare_mappings(moved, base, label="stats")
+    assert len(deviations) == 1
+    assert deviations[0].series == "stats.kernel.events"
+    assert deviations[0].kind == "value"
+    assert "100.0000 -> 101.0000" in deviations[0].describe()
+
+
+def test_compare_mappings_tolerance_and_structure():
+    from repro.harness.regression import compare_mappings
+
+    base = {"a": 100, "gone": 1}
+    current = {"a": 104, "new": 2}
+    loose = compare_mappings(current, base, rtol=0.05)
+    kinds = sorted(d.kind for d in loose)
+    assert kinds == ["missing-point", "new-point"]  # a is within 5%
+    strict = compare_mappings(current, base)
+    assert sorted(d.kind for d in strict) == [
+        "missing-point", "new-point", "value",
+    ]

@@ -202,11 +202,11 @@ def test_no_cache_engine_never_touches_disk(tmp_path):
 _REAL_EXECUTE = sweep_mod._execute_job
 
 
-def _fail_in_worker(job, collect_metrics=False):
+def _fail_in_worker(job, collect_metrics=False, check_invariants=False):
     """Raises inside pool workers, behaves normally in the parent."""
     if multiprocessing.current_process().name != "MainProcess":
         raise RuntimeError("injected worker failure")
-    return _REAL_EXECUTE(job, collect_metrics)
+    return _REAL_EXECUTE(job, collect_metrics, check_invariants)
 
 
 def test_worker_failure_falls_back_in_process(monkeypatch):
@@ -273,3 +273,85 @@ def test_from_env_reads_environment():
     cached = SweepEngine.from_env({"REPRO_CACHE_DIR": "/tmp/x"})
     assert cached.jobs == 1
     assert str(cached.cache.root) == "/tmp/x"
+
+
+# ---------------------------------------------------------------------------
+# Kernel stats, invariants, progress telemetry
+# ---------------------------------------------------------------------------
+
+def test_payload_carries_worker_kernel_stats():
+    outcome = SweepEngine(jobs=1, use_cache=False).run([_job()])[0]
+    stats = outcome.payload["kernel_stats"]
+    assert stats["simulators"] >= 1
+    assert stats["events_fired"] > 0
+    assert stats["heap_pushes"] >= stats["heap_pops"]
+
+
+def test_summary_merges_kernel_stats_across_workers():
+    jobs = [_job(threads=threads) for threads in (1, 2, 3)]
+    engine = SweepEngine(jobs=2, use_cache=False)
+    outcomes = engine.run(jobs)
+    merged = engine.last_stats["kernel_stats"]
+    for stat in ("events_fired", "process_resumes", "simulators"):
+        assert merged[stat] == sum(
+            outcome.payload["kernel_stats"][stat] for outcome in outcomes
+        )
+
+
+def test_cache_served_sweep_merges_no_kernel_stats(tmp_path):
+    jobs = [_job()]
+    SweepEngine(jobs=1, cache_dir=tmp_path).run(jobs)
+    engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+    outcomes = engine.run(jobs)
+    assert engine.last_stats["simulated"] == 0
+    # Nothing ran here, so no throughput to report -- but the cached
+    # payload still carries the stats of the run that produced it.
+    assert engine.last_stats["kernel_stats"] == {}
+    assert outcomes[0].payload["kernel_stats"]["events_fired"] > 0
+
+
+def test_check_invariants_uses_a_distinct_cache_namespace(tmp_path):
+    jobs = [_job()]
+    SweepEngine(jobs=1, cache_dir=tmp_path).run(jobs)
+    checked = SweepEngine(jobs=1, cache_dir=tmp_path, check_invariants=True)
+    outcomes = checked.run(jobs)
+    # A monitored run is never served from unmonitored cache entries
+    # (payload kernel counters differ), but its figures must agree.
+    assert checked.last_stats["cache_hits"] == 0
+    assert checked.last_stats["simulated"] == 1
+    plain = SweepEngine(jobs=1, use_cache=False).run(jobs)
+    assert outcomes[0].payload["work_ipc"] == plain[0].payload["work_ipc"]
+    assert outcomes[0].payload["ticks"] == plain[0].payload["ticks"]
+
+
+class _RecordingProgress:
+    def __init__(self):
+        self.begun = None
+        self.done = 0
+        self.finished = None
+
+    def begin(self, name, total, cache_hits, workers):
+        self.begun = {"name": name, "total": total,
+                      "cache_hits": cache_hits, "workers": workers}
+
+    def job_done(self, wall_s, active=0):
+        self.done += 1
+
+    def heartbeat(self, active):
+        pass
+
+    def finish(self, stats):
+        self.finished = stats
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_progress_hooks_fire_per_job(workers):
+    jobs = [_job(threads=threads) for threads in (1, 2, 3)]
+    progress = _RecordingProgress()
+    engine = SweepEngine(jobs=workers, use_cache=False, progress=progress)
+    engine.run(SweepSpec("prog", jobs))
+    assert progress.begun == {
+        "name": "prog", "total": 3, "cache_hits": 0, "workers": workers
+    }
+    assert progress.done == 3
+    assert progress.finished is engine.last_stats

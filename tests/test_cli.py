@@ -151,3 +151,110 @@ def test_profile_command_figure():
 def test_profile_rejects_unknown_target():
     with pytest.raises(SystemExit):
         run_cli("profile", "not-a-figure")
+
+
+# ---------------------------------------------------------------------------
+# Provenance ledger: recording + runs list/show/diff
+# ---------------------------------------------------------------------------
+
+def test_recorded_commands_append_ledger_entries():
+    from repro.obs.runlog import RunLedger
+
+    run_cli("run", "--threads", "2", "--warmup-us", "2", "--measure-us", "8")
+    entries = RunLedger().entries()
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry["command"] == "run"
+    assert entry["status"] == 0
+    assert entry["kernel_stats"]["events_fired"] > 0
+    assert entry["results"]["work_ipc"] > 0
+    assert len(entry["config_digest"]) == 64
+    assert entry["model_version"]
+
+
+def test_no_ledger_env_disables_recording(monkeypatch):
+    from repro.obs.runlog import RunLedger
+
+    monkeypatch.setenv("REPRO_NO_LEDGER", "1")
+    run_cli("run", "--threads", "2", "--warmup-us", "2", "--measure-us", "8")
+    assert RunLedger().entries() == []
+
+
+def test_runs_list_and_show():
+    run_cli("run", "--threads", "2", "--warmup-us", "2", "--measure-us", "8")
+    code, text = run_cli("runs", "list")
+    assert code == 0
+    assert "repro run --threads 2" in text
+    assert "status=0" in text
+    code, text = run_cli("runs", "show", "-1")
+    assert code == 0
+    assert '"command": "run"' in text
+
+
+def test_runs_list_empty_ledger():
+    code, text = run_cli("runs", "list")
+    assert code == 0
+    assert "no runs recorded" in text
+
+
+def test_runs_diff_identical_runs_match():
+    args = ("run", "--threads", "2", "--warmup-us", "2", "--measure-us", "8")
+    run_cli(*args)
+    run_cli(*args)
+    code, text = run_cli("runs", "diff", "0", "1")
+    assert code == 0
+    assert "runs match: no deviations" in text
+
+
+def test_runs_diff_flags_changed_config_and_counters():
+    run_cli("run", "--threads", "2", "--warmup-us", "2", "--measure-us", "8")
+    run_cli("run", "--threads", "4", "--warmup-us", "2", "--measure-us", "8")
+    code, text = run_cli("runs", "diff", "0", "1")
+    assert code == 1
+    assert "config_digest" in text
+    assert "kernel_stats.events_fired" in text
+    assert "deviation(s)" in text
+
+
+def test_runs_diff_tolerance_relaxes_value_checks():
+    run_cli("run", "--threads", "2", "--warmup-us", "2", "--measure-us", "8")
+    run_cli("run", "--threads", "4", "--warmup-us", "2", "--measure-us", "8")
+    strict = run_cli("runs", "diff", "0", "1")[1]
+    loose = run_cli("runs", "diff", "0", "1", "--rtol", "1e9")[1]
+    assert len(loose) < len(strict)  # value deviations suppressed
+
+
+def test_failed_run_is_recorded_as_error():
+    from repro.obs.runlog import RunLedger
+
+    with pytest.raises(ValueError, match="unknown trace tracks"):
+        run_cli("trace", "--figure", "fig3", "--tracks", "bogus")
+    entries = RunLedger().entries()
+    assert len(entries) == 1
+    assert entries[0]["status"] == "error"
+    assert "ValueError" in entries[0]["error"]
+
+
+def test_check_invariants_flag_accepted_on_run_and_figure(tmp_path):
+    code, _ = run_cli(
+        "run", "--threads", "2", "--warmup-us", "2", "--measure-us", "8",
+        "--check-invariants",
+    )
+    assert code == 0
+    code, _ = run_cli(
+        "figure", "fig3", "--check-invariants",
+        "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert code == 0
+
+
+def test_figure_run_records_series_digests():
+    from repro.obs.runlog import RunLedger
+
+    run_cli("figure", "fig3", "--no-cache")
+    entry = RunLedger().resolve("-1")
+    figure = entry["figure"]
+    assert figure["name"] == "fig3"
+    assert figure["payload"]["series"]
+    assert set(figure["series_digests"]) == set(figure["payload"]["series"])
+    assert entry["sweep"]["kernel_stats"]["events_fired"] > 0
