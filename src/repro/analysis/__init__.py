@@ -1,0 +1,54 @@
+"""simlint: an AST-based static analyzer for the simulator's contracts.
+
+The simulator's correctness rests on contracts that runtime checks
+(`repro.obs.invariants`, the provenance-ledger diff) can only verify on
+paths a test happens to execute:
+
+* **determinism** -- no wall-clock or unseeded randomness feeding
+  simulation state, no unordered iteration feeding event scheduling;
+* **kernel discipline** -- every ``Resource.acquire()`` released on all
+  exit paths, no negative delays, no host blocking inside coroutines;
+* **units** -- tick/ns/bytes conversions centralized in
+  :mod:`repro.units` / :mod:`repro.config`, not scattered magic numbers;
+* **observability** -- trace emission behind the zero-cost
+  ``tracer is None`` guard, stable dotted probe names.
+
+simlint walks :mod:`repro`'s AST and reports violations of the whole
+class at review time, with stable ``SIMxxx`` codes, inline
+``# simlint: disable=SIMxxx -- justification`` pragmas, and a committed
+baseline so the gate starts at zero findings.
+
+Usage::
+
+    repro lint                        # lint the installed repro package
+    repro lint src/repro --format=json --strict
+    python -m repro.analysis path/to/file.py
+
+Layered as a library: :mod:`repro.analysis.engine` (file walking and
+orchestration), :mod:`repro.analysis.checkers` (one module per code
+family), :mod:`repro.analysis.pragmas`, :mod:`repro.analysis.baseline`,
+:mod:`repro.analysis.reporting`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.codes import CODES, CodeInfo
+from repro.analysis.engine import (
+    AnalysisResult,
+    Finding,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.main import add_lint_arguments, main, run_from_args
+
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "AnalysisResult",
+    "Finding",
+    "analyze_paths",
+    "analyze_source",
+    "add_lint_arguments",
+    "run_from_args",
+    "main",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` -- run simlint standalone."""
+
+from repro.analysis.main import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

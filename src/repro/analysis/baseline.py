@@ -1,0 +1,75 @@
+"""The committed findings baseline.
+
+A baseline lets the lint gate start at zero *new* findings while the
+backlog is burned down.  Each finding is identified by a fingerprint
+that is independent of line numbers (code + fingerprint path + the
+normalized source line + an occurrence counter), so unrelated edits do
+not churn the file.
+
+This tree's policy is an **empty** committed baseline -- every real
+finding is fixed or pragma-annotated -- but the mechanism is kept
+first-class so a future checker can land before its backlog is cleared.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Union
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "save_baseline",
+]
+
+BASELINE_FORMAT = "simlint-baseline-v1"
+
+#: Discovered in the working directory when ``--baseline`` is not given.
+DEFAULT_BASELINE_NAME = "simlint-baseline.json"
+
+
+def load_baseline(path: Union[str, Path, None]) -> Dict[str, dict]:
+    """Fingerprint -> metadata mapping; a missing file is an empty
+    baseline, a corrupt one is a :class:`ConfigError` (a silently
+    ignored baseline would un-gate CI)."""
+    if path is None:
+        return {}
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as error:
+        raise ConfigError(f"baseline {path} is not valid JSON: {error}")
+    if not isinstance(data, dict) or data.get("format") != BASELINE_FORMAT:
+        raise ConfigError(
+            f"baseline {path}: expected format {BASELINE_FORMAT!r}, "
+            f"got {data.get('format')!r}"
+        )
+    findings = data.get("findings")
+    if not isinstance(findings, dict):
+        raise ConfigError(f"baseline {path}: 'findings' must be an object")
+    return findings
+
+
+def save_baseline(path: Union[str, Path], findings: Iterable) -> None:
+    """Write the given findings (engine ``Finding`` objects) as the new
+    baseline, sorted for stable diffs."""
+    payload = {
+        "format": BASELINE_FORMAT,
+        "findings": {
+            finding.fingerprint: {
+                "code": finding.code,
+                "path": finding.fingerprint_path,
+                "summary": finding.message,
+            }
+            for finding in findings
+        },
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

@@ -1,0 +1,229 @@
+"""SIM1xx: the determinism contract.
+
+The provenance ledger's ``runs diff`` gate (PR 4) asserts that two
+identical invocations are bit-for-bit equal.  Everything this module
+flags is a way to silently break that: reading the host's clock,
+drawing from an unseeded RNG, or iterating an unordered container into
+simulation state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from repro.analysis.checkers import Checker, canonical, import_map
+
+__all__ = [
+    "WallClockChecker",
+    "UnseededRandomChecker",
+    "UnorderedIterationChecker",
+]
+
+#: Wall-clock reads that poison determinism when they feed model state.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time", "time.time_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.process_time", "time.process_time_ns",
+        "time.localtime", "time.gmtime", "time.strftime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+#: Modules whose *job* is wall-clock measurement (CLI wall-time
+#: reporting, sweep worker timeouts/ETA).  Everything else -- including
+#: the run ledger and progress renderer -- must carry an explicit
+#: pragma with a justification.
+_WALL_CLOCK_ALLOWED = frozenset({"repro.cli", "repro.harness.sweep"})
+
+#: numpy.random entry points that take an explicit seed and are fine
+#: when one is passed.
+_SEEDABLE = frozenset(
+    {
+        "numpy.random.RandomState",
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.Generator",
+        "random.Random",
+    }
+)
+
+
+class WallClockChecker(Checker):
+    """SIM101: wall-clock reads outside the whitelisted modules."""
+
+    codes = ("SIM101",)
+
+    def check(self, module) -> Iterable:
+        if module.module in _WALL_CLOCK_ALLOWED:
+            return
+        aliases = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if isinstance(node, ast.Name) and not isinstance(
+                node.ctx, ast.Load
+            ):
+                continue
+            name = canonical(node, aliases)
+            if name in _WALL_CLOCK:
+                yield module.finding(
+                    "SIM101",
+                    node,
+                    f"wall-clock read {name}; simulated time is sim.now "
+                    "(pragma with a justification if this is "
+                    "intentionally host-side)",
+                )
+
+
+class UnseededRandomChecker(Checker):
+    """SIM102: global-RNG draws and seedless RNG construction."""
+
+    codes = ("SIM102",)
+
+    def check(self, module) -> Iterable:
+        aliases = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical(node.func, aliases)
+            if name is None:
+                continue
+            if name in _SEEDABLE:
+                if not node.args and not node.keywords:
+                    yield module.finding(
+                        "SIM102",
+                        node,
+                        f"{name}() constructed without a seed; thread "
+                        "an explicit seed through the config",
+                    )
+                continue
+            if name.startswith("random.") or name.startswith(
+                "numpy.random."
+            ):
+                yield module.finding(
+                    "SIM102",
+                    node,
+                    f"{name}() draws from the global (unseeded) RNG; "
+                    "use a seeded RandomState/Generator instance",
+                )
+
+
+#: Directory/namespace listings with unspecified order.
+_UNORDERED_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+
+def _set_valued(node: ast.AST, set_names: Set[str]) -> bool:
+    """Syntactically set-typed: literal, comprehension, set()/
+    frozenset() call, a tracked local, or a set-algebra expression
+    over one."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _set_valued(node.left, set_names) or _set_valued(
+            node.right, set_names
+        )
+    return False
+
+
+class UnorderedIterationChecker(Checker):
+    """SIM103: iterating a set (or directory listing) directly.
+
+    Scope-local and deliberately conservative: a name counts as a set
+    only while *every* assignment to it in the scope is syntactically
+    set-valued.  Wrapping the iterable in ``sorted()`` is the fix and
+    naturally silences the check (the loop then iterates a list).
+    """
+
+    codes = ("SIM103",)
+
+    def check(self, module) -> Iterable:
+        aliases = import_map(module.tree)
+        from repro.analysis.checkers import scopes
+
+        for scope in scopes(module.tree):
+            yield from self._check_scope(module, scope, aliases)
+
+    def _scope_sets(self, scope: ast.AST) -> Set[str]:
+        assigned: Dict[str, List[bool]] = {}
+
+        def record(target: ast.AST, is_set: bool) -> None:
+            if isinstance(target, ast.Name):
+                assigned.setdefault(target.id, []).append(is_set)
+
+        for node in self._scope_nodes(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    record(target, _set_valued(node.value, set()))
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                record(node.target, _set_valued(node.value, set()))
+            elif isinstance(node, ast.AugAssign):
+                record(node.target, isinstance(node.op, (ast.BitOr, ast.BitAnd)))
+        return {
+            name for name, flags in assigned.items() if flags and all(flags)
+        }
+
+    @staticmethod
+    def _scope_nodes(scope: ast.AST) -> Iterable[ast.AST]:
+        """Walk a scope without descending into nested functions."""
+        body = scope.body if hasattr(scope, "body") else []
+        todo: List[ast.AST] = list(body)
+        while todo:
+            node = todo.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield node
+            todo.extend(ast.iter_child_nodes(node))
+
+    def _check_scope(self, module, scope, aliases) -> Iterable:
+        set_names = self._scope_sets(scope)
+        iter_sites: List[ast.AST] = []
+        for node in self._scope_nodes(scope):
+            if isinstance(node, ast.For):
+                iter_sites.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iter_sites.extend(gen.iter for gen in node.generators)
+        for site in iter_sites:
+            if _set_valued(site, set_names):
+                yield module.finding(
+                    "SIM103",
+                    site,
+                    "iteration over a set has unspecified order; wrap "
+                    "in sorted() before it can feed event scheduling",
+                )
+                continue
+            if isinstance(site, ast.Call):
+                name = canonical(site.func, aliases)
+                if name in _UNORDERED_CALLS:
+                    yield module.finding(
+                        "SIM103",
+                        site,
+                        f"{name}() returns entries in unspecified "
+                        "order; wrap in sorted()",
+                    )
+                elif (
+                    isinstance(site.func, ast.Attribute)
+                    and site.func.attr == "iterdir"
+                ):
+                    yield module.finding(
+                        "SIM103",
+                        site,
+                        "Path.iterdir() returns entries in unspecified "
+                        "order; wrap in sorted()",
+                    )

@@ -1,0 +1,177 @@
+"""SIM4xx: the observability contracts.
+
+Tracing is zero-cost when disabled only if every emission sits behind a
+``tracer is None`` guard (PR 3's golden bit-for-bit test depends on
+it), and metric snapshots only diff cleanly if probe names are stable
+across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.checkers import Checker, ancestors, dotted
+
+__all__ = ["TraceGuardChecker", "ProbeNameChecker"]
+
+#: Tracer emission methods (see repro.obs.tracer.Tracer).
+_EMIT_METHODS = frozenset({"complete", "counter", "instant"})
+
+
+def _tracer_receiver(call: ast.Call) -> Optional[str]:
+    """Dotted receiver when this is ``<something>.tracer.<emit>()`` or
+    ``tracer.<emit>()``."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    if call.func.attr not in _EMIT_METHODS:
+        return None
+    receiver = dotted(call.func.value)
+    if receiver is None:
+        return None
+    if receiver == "tracer" or receiver.endswith(".tracer"):
+        return receiver
+    return None
+
+
+def _test_guards(test: ast.AST, receiver: str) -> Optional[bool]:
+    """Does ``test`` establish the receiver is live?
+
+    Returns True when the *body* branch is guarded (``x is not None``,
+    truthiness, or an ``and`` chain containing either), False when the
+    *else* branch is (``x is None``), None when the test says nothing.
+    """
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        for clause in test.values:
+            verdict = _test_guards(clause, receiver)
+            if verdict is not None:
+                return verdict
+        return None
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left = dotted(test.left)
+        if left == receiver and isinstance(
+            test.comparators[0], ast.Constant
+        ) and test.comparators[0].value is None:
+            if isinstance(test.ops[0], ast.IsNot):
+                return True
+            if isinstance(test.ops[0], ast.Is):
+                return False
+    if dotted(test) == receiver:
+        return True
+    return None
+
+
+def _contains(branch: List[ast.stmt], node: ast.AST) -> bool:
+    return any(node is sub for stmt in branch for sub in ast.walk(stmt))
+
+
+def _is_guarded(call: ast.Call, receiver: str) -> bool:
+    for parent in ancestors(call):
+        if isinstance(call.func, ast.Attribute) and parent is call.func:
+            continue
+        if isinstance(parent, ast.If):
+            verdict = _test_guards(parent.test, receiver)
+            if verdict is True and _contains(parent.body, call):
+                return True
+            if verdict is False and _contains(parent.orelse, call):
+                return True
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return _early_return_guard(parent, call, receiver)
+    return False
+
+
+def _early_return_guard(
+    func: ast.AST, call: ast.Call, receiver: str
+) -> bool:
+    """``if x is None: return`` earlier in the function also guards."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.If):
+            continue
+        if node.lineno >= call.lineno:
+            continue
+        if _test_guards(node.test, receiver) is not False:
+            continue
+        if node.body and isinstance(
+            node.body[-1], (ast.Return, ast.Raise, ast.Continue)
+        ):
+            return True
+    return False
+
+
+class TraceGuardChecker(Checker):
+    """SIM401: tracer emission without an ``is not None`` guard."""
+
+    codes = ("SIM401",)
+
+    def check(self, module) -> Iterable:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            receiver = _tracer_receiver(node)
+            if receiver is None:
+                continue
+            if _is_guarded(node, receiver):
+                continue
+            yield module.finding(
+                "SIM401",
+                node,
+                f"{receiver}.{node.func.attr}() is not behind a "
+                f"'{receiver} is not None' guard; emission must be "
+                "zero-cost when tracing is off",
+            )
+
+
+def _name_instability(arg: ast.AST) -> Optional[str]:
+    """Why a probe-name expression changes between identical runs."""
+    for node in ast.walk(arg):
+        if isinstance(node, ast.Call):
+            callee = dotted(node.func)
+            if callee in ("id", "hash", "repr"):
+                return f"{callee}() of a live object"
+            if callee is not None and (
+                callee.startswith("uuid.")
+                or callee.startswith("random.")
+                or callee.startswith("time.")
+            ):
+                return f"{callee}()"
+    return None
+
+
+class ProbeNameChecker(Checker):
+    """SIM402/SIM403: duplicate or run-unstable metric names."""
+
+    codes = ("SIM402", "SIM403")
+
+    def check(self, module) -> Iterable:
+        literal_sites: Dict[str, List[ast.Call]] = {}
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "register"
+                and len(node.args) >= 2
+            ):
+                continue
+            name_arg = node.args[0]
+            instability = _name_instability(name_arg)
+            if instability is not None:
+                yield module.finding(
+                    "SIM403",
+                    name_arg,
+                    f"probe name embeds {instability}, which differs "
+                    "every run; derive names from stable indices/"
+                    "config instead",
+                )
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                literal_sites.setdefault(name_arg.value, []).append(node)
+        for name, sites in sorted(literal_sites.items()):
+            for duplicate in sites[1:]:
+                yield module.finding(
+                    "SIM402",
+                    duplicate,
+                    f"probe name {name!r} is registered more than once "
+                    "in this module; the registry raises ConfigError "
+                    "on the second register()",
+                )

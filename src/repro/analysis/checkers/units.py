@@ -1,0 +1,163 @@
+"""SIM3xx: the tick/ns/bytes units discipline.
+
+The clock is integer picoseconds and every conversion constant lives in
+:mod:`repro.units` (DESIGN.md section 1).  A literal ``1e6`` in model
+code is a latent "is this ticks-per-us or bytes-per-MB?" bug; a
+``latency_ns = ns(...)`` binding mislabels ticks as nanoseconds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.checkers import Checker, canonical, import_map
+
+__all__ = ["MagicUnitLiteralChecker", "UnitSuffixChecker"]
+
+# simlint: disable-file=SIM301 -- this module defines the unit-scale
+# literal table simlint itself checks against
+
+#: The unit-scale magnitudes that must come from repro.units.
+_UNIT_SCALES = {
+    10**3: "units.NS (or KB)",
+    10**6: "units.US (or MB)",
+    10**9: "units.MS / units.GB / units.NS_PER_S",
+    10**12: "units.S",
+    1024: "units.KIB",
+    1024**2: "units.MIB",
+    1024**3: "units.GIB",
+}
+
+#: Modules that *define* the units/config vocabulary.
+_UNIT_DEFINERS = frozenset({"repro.units", "repro.config"})
+
+
+def _is_conversion_context(node: ast.Constant) -> bool:
+    """Only arithmetic operands and module-level ALL_CAPS constant
+    definitions are treated as unit conversions -- a ``1000`` in a
+    sweep grid tuple or a dataclass default is a count, not a scale."""
+    from repro.analysis.checkers import ancestors
+
+    parent = getattr(node, "_simlint_parent", None)
+    if isinstance(parent, ast.BinOp):
+        return True
+    if isinstance(parent, ast.Assign):
+        targets = parent.targets
+        if all(
+            isinstance(target, ast.Name) and target.id.isupper()
+            for target in targets
+        ):
+            return not any(
+                isinstance(
+                    ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                for ancestor in ancestors(parent)
+            )
+    return False
+
+
+class MagicUnitLiteralChecker(Checker):
+    """SIM301: unit-scale numeric literals outside units/config."""
+
+    codes = ("SIM301",)
+
+    def check(self, module) -> Iterable:
+        if module.module in _UNIT_DEFINERS:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            if isinstance(value, float) and not value.is_integer():
+                continue
+            suggestion = _UNIT_SCALES.get(int(value))
+            if suggestion is None:
+                continue
+            if not _is_conversion_context(node):
+                continue
+            yield module.finding(
+                "SIM301",
+                node,
+                f"magic unit-scale literal {value:g}; use "
+                f"{suggestion} or a repro.units conversion helper",
+            )
+
+
+#: Unit a repro.units call's *result* is denominated in.
+_PRODUCES = {
+    "repro.units.ps": "ticks",
+    "repro.units.ns": "ticks",
+    "repro.units.us": "ticks",
+    "repro.units.ms": "ticks",
+    "repro.units.seconds": "ticks",
+    "repro.units.to_ns": "ns",
+    "repro.units.to_us": "us",
+    "repro.units.to_seconds": "s",
+}
+
+#: Name suffix -> the unit the name claims.
+_SUFFIX_UNITS = {
+    "_ticks": "ticks",
+    "_ps": "ticks",  # a tick IS a picosecond
+    "_ns": "ns",
+    "_us": "us",
+    "_ms": "ms",
+}
+
+
+def _claimed_unit(name: str) -> Optional[str]:
+    for suffix, unit in _SUFFIX_UNITS.items():
+        if name.endswith(suffix):
+            return unit
+    return None
+
+
+class UnitSuffixChecker(Checker):
+    """SIM302: unit-suffixed names bound to a mismatched conversion."""
+
+    codes = ("SIM302",)
+
+    def check(self, module) -> Iterable:
+        aliases = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            bindings = []
+            if isinstance(node, ast.Assign):
+                bindings = [
+                    (target.id, node.value)
+                    for target in node.targets
+                    if isinstance(target, ast.Name)
+                ]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    bindings = [(node.target.id, node.value)]
+            elif isinstance(node, ast.Call):
+                bindings = [
+                    (keyword.arg, keyword.value)
+                    for keyword in node.keywords
+                    if keyword.arg is not None
+                ]
+            for name, value in bindings:
+                yield from self._check_binding(module, aliases, name, value)
+
+    def _check_binding(self, module, aliases, name, value) -> Iterable:
+        claimed = _claimed_unit(name)
+        if claimed is None or not isinstance(value, ast.Call):
+            return
+        produced = _PRODUCES.get(canonical(value.func, aliases) or "")
+        if produced is None or produced == claimed:
+            return
+        unit_text = (
+            "integer ticks (picoseconds)" if produced == "ticks"
+            else f"float {produced}"
+        )
+        yield module.finding(
+            "SIM302",
+            value,
+            f"{name!r} claims {claimed} but the conversion returns "
+            f"{unit_text}; rename the binding or change the helper",
+        )

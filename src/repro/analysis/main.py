@@ -1,0 +1,115 @@
+"""The ``repro lint`` / ``python -m repro.analysis`` entry point.
+
+Exit codes: 0 clean, 1 findings (or, with ``--strict``, stale baseline
+entries), 2 configuration errors (unreadable baseline, no files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import analyze_paths
+from repro.analysis.reporting import render_json, render_text
+from repro.errors import ConfigError
+
+__all__ = ["add_lint_arguments", "run_from_args", "main"]
+
+
+def _default_target() -> str:
+    """With no paths given, lint the installed ``repro`` package."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parent)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared flag definitions for ``repro lint`` and ``-m`` use."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI artifact schema)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file of accepted findings (default: "
+             f"./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail on stale baseline entries (fingerprints whose "
+             "finding no longer exists)",
+    )
+
+
+def run_from_args(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    paths = args.paths or [_default_target()]
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(f"simlint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE_NAME).exists():
+        baseline_path = DEFAULT_BASELINE_NAME
+    if args.no_baseline:
+        baseline_path = None
+    try:
+        baseline = load_baseline(baseline_path)
+    except ConfigError as error:
+        print(f"simlint: {error}", file=sys.stderr)
+        return 2
+    result = analyze_paths(paths, baseline=baseline)
+    if result.files_scanned == 0:
+        print("simlint: no Python files found", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        save_baseline(target, result.all_findings)
+        print(
+            f"baseline updated: {len(result.all_findings)} finding(s) "
+            f"written to {target}",
+            file=out,
+        )
+        return 0
+    if args.format == "json":
+        json.dump(render_json(result), out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        render_text(result, out)
+    if result.findings:
+        return 1
+    if args.strict and result.stale_baseline:
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="simlint: static analysis of the simulator's "
+                    "determinism, kernel, units, and observability "
+                    "contracts",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv), out)

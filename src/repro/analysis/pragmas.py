@@ -1,0 +1,177 @@
+"""Inline suppression pragmas.
+
+Three forms, all requiring a ``--`` justification string so every
+suppression documents *why* the contract does not apply::
+
+    x = time.time()  # simlint: disable=SIM101 -- provenance timestamp
+    # simlint: disable-next-line=SIM202 -- deadline clamped to now above
+    release = sim.timeout(deadline - sim.now)
+    # simlint: disable-file=SIM301 -- generated lookup tables
+
+A pragma with no justification, an unknown code, or one that fails to
+parse is itself reported as SIM001; a pragma that suppresses nothing is
+SIM002.  Engine codes (SIM0xx) cannot be suppressed with pragmas.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from repro.analysis.codes import is_valid_code
+
+__all__ = ["Pragma", "PragmaSet", "parse_pragmas"]
+
+#: Any comment that invokes simlint at all (used to catch malformed ones).
+_MENTION = re.compile(r"#\s*simlint\s*:")
+
+_PRAGMA = re.compile(
+    r"#\s*simlint\s*:\s*"
+    r"(?P<scope>disable(?:-next-line|-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<why>\S.*?))?"
+    r"\s*$"
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int  # 1-based line the comment sits on
+    scope: str  # "line" | "next-line" | "file"
+    codes: tuple  # of str
+    justification: str
+    #: Codes this pragma actually suppressed at least one finding for.
+    used_codes: set = field(default_factory=set)
+    #: Parse/validation problems ("" when clean); reported as SIM001.
+    problem: str = ""
+    #: Resolved target for "next-line" pragmas (set by the parser so a
+    #: justification wrapped across several comment lines still points
+    #: at the first following *code* line).
+    resolved_target: int = 0
+
+    @property
+    def target_line(self) -> int:
+        """The source line this pragma's suppression applies to."""
+        if self.scope == "next-line":
+            return self.resolved_target or self.line + 1
+        return self.line
+
+    def suppresses(self, code: str, line: int) -> bool:
+        if self.problem or code not in self.codes:
+            return False
+        if self.scope == "file":
+            return True
+        return line == self.target_line
+
+    @property
+    def unused(self) -> bool:
+        return not self.problem and not self.used_codes
+
+
+class PragmaSet:
+    """All pragmas of one file, with suppression bookkeeping."""
+
+    def __init__(self, pragmas: Iterable[Pragma]) -> None:
+        self.pragmas: List[Pragma] = list(pragmas)
+
+    def suppress(self, code: str, line: int) -> bool:
+        """True (and marks the pragma used) if a pragma covers the
+        finding.  Engine codes are never suppressible."""
+        from repro.analysis.codes import META_CODES
+
+        if code in META_CODES:
+            return False
+        hit = False
+        for pragma in self.pragmas:
+            if pragma.suppresses(code, line):
+                pragma.used_codes.add(code)
+                hit = True
+        return hit
+
+
+def _comment_tokens(source: str) -> List[tuple]:
+    """(line, text) of every real comment (tokenized, so pragma-shaped
+    text inside strings and docstrings is never mistaken for one)."""
+    comments: List[tuple] = []
+    try:
+        for token in tokenize.generate_tokens(
+            io.StringIO(source).readline
+        ):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparsable files are reported as SIM003 by the engine; any
+        # comments tokenized before the error still count.
+        pass
+    return comments
+
+
+def parse_pragmas(source: str) -> PragmaSet:
+    """Scan a module's comments for simlint pragmas (malformed ones
+    included, carrying their ``problem`` text for SIM001 reporting)."""
+    pragmas: List[Pragma] = []
+    lines = source.splitlines()
+    for lineno, text in _comment_tokens(source):
+        if not _MENTION.search(text):
+            continue
+        match = _PRAGMA.search(text)
+        if match is None:
+            pragmas.append(
+                Pragma(
+                    line=lineno, scope="line", codes=(), justification="",
+                    problem="does not parse; expected "
+                    "'# simlint: disable[=|-next-line=|-file=]SIMxxx "
+                    "-- justification'",
+                )
+            )
+            continue
+        scope = {
+            "disable": "line",
+            "disable-next-line": "next-line",
+            "disable-file": "file",
+        }[match.group("scope")]
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        why = (match.group("why") or "").strip()
+        problem = ""
+        unknown = [code for code in codes if not is_valid_code(code)]
+        from repro.analysis.codes import META_CODES
+
+        meta = [code for code in codes if code in META_CODES]
+        if not codes:
+            problem = "no codes given"
+        elif unknown:
+            problem = f"unknown code(s) {', '.join(unknown)}"
+        elif meta:
+            problem = (
+                f"engine code(s) {', '.join(meta)} cannot be "
+                "pragma-suppressed (baseline them instead)"
+            )
+        elif not why:
+            problem = "missing '-- justification' string"
+        pragmas.append(
+            Pragma(
+                line=lineno, scope=scope, codes=codes,
+                justification=why, problem=problem,
+                resolved_target=_next_code_line(lines, lineno),
+            )
+        )
+    return PragmaSet(pragmas)
+
+
+def _next_code_line(lines: List[str], lineno: int) -> int:
+    """First line after ``lineno`` that is not a comment (a wrapped
+    justification keeps a next-line pragma pointing at real code).  A
+    blank line ends the comment block, so a pragma never suppresses at
+    a distance."""
+    target = lineno + 1
+    while target <= len(lines) and lines[target - 1].strip().startswith("#"):
+        target += 1
+    return target

@@ -1,0 +1,66 @@
+"""Rendering lint results as text or machine-readable JSON.
+
+The JSON report is the CI artifact format; its schema is versioned so
+downstream tooling can gate on it.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.analysis.codes import CODES
+from repro.analysis.engine import AnalysisResult
+
+__all__ = ["REPORT_FORMAT", "render_text", "render_json"]
+
+REPORT_FORMAT = "simlint-report-v1"
+
+
+def render_text(result: AnalysisResult, out: TextIO) -> None:
+    for finding in result.findings:
+        print(finding.describe(), file=out)
+        if finding.snippet:
+            print(f"    {finding.snippet}", file=out)
+    summary = (
+        f"{len(result.findings)} finding(s) in "
+        f"{result.files_scanned} file(s)"
+    )
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    if result.stale_baseline:
+        summary += (
+            f", {len(result.stale_baseline)} stale baseline entr"
+            f"{'y' if len(result.stale_baseline) == 1 else 'ies'}"
+        )
+    print(summary, file=out)
+    if result.findings:
+        by_code = result.counts_by_code
+        for code, count in by_code.items():
+            title = CODES[code].title if code in CODES else "?"
+            print(f"    {code} [{title}]: {count}", file=out)
+
+
+def render_json(result: AnalysisResult) -> dict:
+    return {
+        "format": REPORT_FORMAT,
+        "files_scanned": result.files_scanned,
+        "summary": result.counts_by_code,
+        "findings": [
+            {
+                "code": finding.code,
+                "title": CODES.get(finding.code).title
+                if finding.code in CODES else "",
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "snippet": finding.snippet,
+                "fingerprint": finding.fingerprint,
+            }
+            for finding in result.findings
+        ],
+        "baselined": sorted(
+            finding.fingerprint for finding in result.baselined
+        ),
+        "stale_baseline": list(result.stale_baseline),
+    }

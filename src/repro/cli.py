@@ -40,6 +40,7 @@ from repro.harness.experiment import MeasureWindow, normalized_microbench
 from repro.harness.figures import ALL_FIGURES
 from repro.harness.report import render_chart, render_table, to_csv
 from repro.harness.sweep import MODEL_VERSION, SweepEngine
+from repro import units
 from repro.obs import runlog
 from repro.obs.scenarios import TRACE_SCENARIOS
 from repro.workloads.microbench import MicrobenchSpec
@@ -166,6 +167,15 @@ def build_parser() -> argparse.ArgumentParser:
                          default="tottime", help="pstats sort key")
     _add_run_flags(profile)
 
+    lint = commands.add_parser(
+        "lint",
+        help="run simlint, the static analyzer enforcing the "
+             "determinism/kernel/units/observability contracts",
+    )
+    from repro.analysis import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     commands.add_parser("list", help="list figures and applications")
     commands.add_parser("table1", help="print the paper's Table I taxonomy")
     return parser
@@ -281,10 +291,11 @@ def _command_run(args: argparse.Namespace, out, record=None) -> int:
     print(f"work IPC      : {result.work_ipc:.4f}", file=out)
     print(f"normalized    : {normalized:.4f}  (vs 1-thread DRAM baseline)", file=out)
     print(f"accesses      : {result.stats.accesses} in "
-          f"{result.stats.ticks / 1e6:.0f} us", file=out)
+          f"{units.to_us(result.stats.ticks):.0f} us", file=out)
     print(f"LFB peak      : {max(report['lfb_max_per_core'])} / {args.lfb}", file=out)
     print(f"chip-q peak   : {report['uncore_pcie_max']} / {args.chip_queue}", file=out)
-    up = report["pcie_up_wire_bytes"] / (result.stats.ticks / 1e12) / 1e9
+    up = (report["pcie_up_wire_bytes"]
+          / units.to_seconds(result.stats.ticks) / units.GB)
     print(f"PCIe upstream : {up:.2f} GB/s on the wire", file=out)
     if args.metrics:
         import json
@@ -421,8 +432,8 @@ def _command_sweep(args: argparse.Namespace, out, record=None) -> int:
           f"({stats['retries']} retries, {stats['fallbacks']} fallbacks)",
           file=out)
     if per_job.count:
-        print(f"per-job wall  : {per_job.mean / 1e9:.3f} s mean, "
-              f"{(per_job.maximum or 0) / 1e9:.3f} s max", file=out)
+        print(f"per-job wall  : {per_job.mean / units.NS_PER_S:.3f} s mean, "
+              f"{(per_job.maximum or 0) / units.NS_PER_S:.3f} s max", file=out)
     print(f"total wall    : {wall:.2f} s", file=out)
     return 0
 
@@ -449,7 +460,7 @@ def _command_app(args: argparse.Namespace, out, record=None) -> int:
     print(f"application   : {args.name}", file=out)
     print(f"configuration : {config.describe()}", file=out)
     print(f"operations    : {run.operations}", file=out)
-    print(f"ns / operation: {run.ticks_per_operation / 1e3:.1f}", file=out)
+    print(f"ns / operation: {units.to_ns(run.ticks_per_operation):.1f}", file=out)
     print(f"normalized    : {normalized:.4f}  (vs 1-thread DRAM baseline)", file=out)
     return 0
 
@@ -646,6 +657,10 @@ def _dispatch(args: argparse.Namespace, out, record) -> int:
         return _command_profile(args, out, record)
     if args.command == "runs":
         return _command_runs(args, out)
+    if args.command == "lint":
+        from repro.analysis import run_from_args
+
+        return run_from_args(args, out)
     if args.command == "list":
         return _command_list(out)
     if args.command == "table1":

@@ -139,18 +139,24 @@ class CoreMemorySystem:
     def _fill(self, entry: MissEntry, line: int, space: AddressSpace):
         queue = self.uncore.queue(space)
         grant = queue.acquire()
-        if not grant.fired:
-            yield grant
-        if self.uncore.tracer is not None:
-            self.uncore.trace_queue(space)
-        yield self.sim.timeout(self.uncore.hop_ticks)
-        data = yield self.uncore.target(space).read_line(line)
-        yield self.sim.timeout(self.uncore.hop_ticks)
-        victim = self.l1.install(line)
-        if victim is not None:
-            self._contents.pop(victim, None)
-        self._contents[line] = data
-        queue.release()
+        try:
+            if not grant.fired:
+                yield grant
+            if self.uncore.tracer is not None:
+                self.uncore.trace_queue(space)
+            yield self.sim.timeout(self.uncore.hop_ticks)
+            data = yield self.uncore.target(space).read_line(line)
+            yield self.sim.timeout(self.uncore.hop_ticks)
+            victim = self.l1.install(line)
+            if victim is not None:
+                self._contents.pop(victim, None)
+            self._contents[line] = data
+        finally:
+            # An exception thrown into the fill process must not strand
+            # a shared-queue slot.  The slot is ours once the grant has
+            # *triggered*; while still queued we own nothing to release.
+            if grant.triggered:
+                queue.release()
         if self.uncore.tracer is not None:
             self.uncore.trace_queue(space)
         self.fill_latency.record(self.sim.now - entry.issued_at)

@@ -102,11 +102,19 @@ class StoreBuffer:
             # being injected; posted writes need no response tracking.
             queue = self.uncore.queue(store.space)
             grant = queue.acquire()
-            if not grant.fired:
-                yield grant
-            yield self.sim.timeout(self.uncore.hop_ticks)
-            sent = sink.write_line(store)
-            if not sent.fired:
-                yield sent
-            queue.release()
+            try:
+                if not grant.fired:
+                    yield grant
+                yield self.sim.timeout(self.uncore.hop_ticks)
+                sent = sink.write_line(store)
+                if not sent.fired:
+                    yield sent
+            finally:
+                # An exception thrown into the drain process must not
+                # strand a shared-queue slot (cores would deadlock on a
+                # grant that never comes).  The slot is ours once the
+                # grant has *triggered*; while still queued for a full
+                # queue we own nothing to release.
+                if grant.triggered:
+                    queue.release()
             self.stores_drained += 1

@@ -88,6 +88,8 @@ class Uncore:
         """Counter sample of a path queue's occupancy (callers must
         guard on ``uncore.tracer is not None``)."""
         queue = self._queues[space]
+        # simlint: disable-next-line=SIM401 -- helper is only reached from
+        # call sites that already guard on 'uncore.tracer is not None'
         self.tracer.counter(
             "queues",
             self._trace_pid,

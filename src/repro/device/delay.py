@@ -80,6 +80,8 @@ class DelayModule:
             deadline = self.sim.now
         self._seq += 1
         heapq.heappush(self._heap, (deadline, self._seq, response, arrival_time))
+        # simlint: disable-next-line=SIM202 -- deadline is clamped to
+        # sim.now by the miss branch above, so the delta is never negative
         release = self.sim.timeout(deadline - self.sim.now)
         release.add_callback(self._release)
 

@@ -15,6 +15,7 @@ they are independent of the baseline's own model.
 from __future__ import annotations
 
 from repro.config import SystemConfig
+from repro.units import ns
 from repro.workloads.microbench import MicrobenchSpec
 
 __all__ = [
@@ -85,7 +86,7 @@ def predict_prefetch_ipc(
     # execute), so the per-batch time is bounded below by the larger of
     # the two, not their sum.
     switch_cycles = config.cpu.frequency.to_cycles(
-        int(config.threading.context_switch_ns * 1000)
+        ns(config.threading.context_switch_ns)
     )
     compute_cycles = max(_work_exec_cycles(config, spec), switch_cycles)
     compute_bound_ipc = spec.work_count / compute_cycles
@@ -111,7 +112,7 @@ def predict_prefetch_bounds(
     in_flight = min(threads * reads, per_core_cap)
     queue_ipc = (in_flight / reads) * spec.work_count / latency
     switch_cycles = config.cpu.frequency.to_cycles(
-        int(config.threading.context_switch_ns * 1000)
+        ns(config.threading.context_switch_ns)
     )
     work_cycles = _work_exec_cycles(config, spec)
     optimistic = spec.work_count / max(work_cycles, switch_cycles)
@@ -140,7 +141,7 @@ def predict_swq_peak_ipc(config: SystemConfig, spec: MicrobenchSpec) -> float:
     )
     overhead_cycles = instructions / config.threading.overhead_ipc
     switch_cycles = config.cpu.frequency.to_cycles(
-        int(config.threading.context_switch_ns * 1000)
+        ns(config.threading.context_switch_ns)
     )
     batch_cycles = max(
         overhead_cycles + switch_cycles, _work_exec_cycles(config, spec)

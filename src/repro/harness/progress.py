@@ -33,6 +33,8 @@ class SweepProgress:
         self,
         stream=None,
         min_interval_s: float = 0.2,
+        # simlint: disable-next-line=SIM101 -- terminal redraw throttle
+        # runs on host time by design (tests inject a fake clock)
         clock=time.monotonic,
     ) -> None:
         self.stream = stream if stream is not None else sys.stderr

@@ -63,6 +63,7 @@ from repro.harness.applications import run_application
 from repro.harness.experiment import MeasureWindow, run_microbench
 from repro.sim import collect_kernel_stats
 from repro.sim.trace import ProbeSet
+from repro.units import NS_PER_S
 from repro.workloads.microbench import MicrobenchSpec
 
 __all__ = [
@@ -474,7 +475,7 @@ class SweepEngine:
                 job, self.collect_metrics, self.check_invariants
             )
             elapsed = time.perf_counter() - t0
-            wall.record(int(elapsed * 1e9))
+            wall.record(int(elapsed * NS_PER_S))
             if progress is not None:
                 progress.job_done(elapsed, active=0)
         return results, retries, fallbacks
@@ -545,7 +546,7 @@ class SweepEngine:
                 results[key] = payload
                 harvested = True
                 elapsed = time.perf_counter() - entry["t0"]
-                wall.record(int(elapsed * 1e9))
+                wall.record(int(elapsed * NS_PER_S))
                 if progress is not None:
                     remaining = len(state) - len(results)
                     progress.job_done(

@@ -57,7 +57,7 @@ from repro.runtime.queuepair import QueuePair
 from repro.runtime.uthread import UserThread
 from repro.sim import Resource, Simulator, all_of, any_of
 from repro.sim.trace import ProbeSet
-from repro.units import ns, transfer_ticks, us
+from repro.units import ns, to_ns, transfer_ticks, us
 
 __all__ = ["System", "WindowStats"]
 
@@ -607,10 +607,10 @@ class System:
             "deadline_misses": self.device.delay.deadline_misses,
             "access_latency_ns": {
                 "count": self.access_latency.count,
-                "mean": (self.access_latency.mean or 0) / 1000,
-                "p50": self.access_latency.percentile(50) / 1000,
-                "p99": self.access_latency.percentile(99) / 1000,
-                "max": (self.access_latency.maximum or 0) / 1000,
+                "mean": to_ns(self.access_latency.mean or 0),
+                "p50": to_ns(self.access_latency.percentile(50)),
+                "p99": to_ns(self.access_latency.percentile(99)),
+                "max": to_ns(self.access_latency.maximum or 0),
             }
             if self.access_latency.count
             else None,

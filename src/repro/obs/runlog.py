@@ -98,6 +98,8 @@ class RunLedger:
         """
         entry = dict(entry)
         entry["format"] = LEDGER_FORMAT
+        # simlint: disable-next-line=SIM101 -- provenance timestamp of the
+        # host run; deliberately wall-clock, never fed back into the model
         entry.setdefault("timestamp", time.time())
         entry["run_id"] = digest_of(entry)[:12]
         try:

@@ -30,6 +30,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Optional
 
+from repro.units import US
+
 __all__ = [
     "TRACKS",
     "PID_CORES",
@@ -63,7 +65,7 @@ PID_DEVICE = 4
 
 #: Ticks are integer picoseconds; trace-event ``ts``/``dur`` are
 #: microseconds (floats allowed, so no precision is lost for display).
-_TICKS_PER_US = 1_000_000.0
+_TICKS_PER_US = float(US)
 
 
 @dataclass(frozen=True)

@@ -47,57 +47,72 @@ def validate_trace(data: Any) -> list[str]:
     errors: list[str] = []
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
-        if not isinstance(event, dict):
-            errors.append(f"{where}: event must be an object")
-            continue
-        name = event.get("name")
-        if not isinstance(name, str) or not name:
-            errors.append(f"{where}: 'name' must be a non-empty string")
-        phase = event.get("ph")
-        if phase not in _PHASES:
-            errors.append(f"{where}: 'ph' {phase!r} not one of {sorted(_PHASES)}")
-            continue
-        for key in ("pid", "tid"):
-            value = event.get(key)
-            if not isinstance(value, int) or isinstance(value, bool):
-                errors.append(f"{where}: {key!r} must be an integer")
-        if phase == "M":
-            if name not in _METADATA_NAMES:
-                errors.append(
-                    f"{where}: metadata name {name!r} not one of "
-                    f"{sorted(_METADATA_NAMES)}"
-                )
-            args = event.get("args")
-            if not isinstance(args, dict) or "name" not in args:
-                errors.append(f"{where}: metadata needs args with a 'name'")
-            continue
-        ts = event.get("ts")
-        if not _is_number(ts) or ts < 0:
-            errors.append(f"{where}: 'ts' must be a non-negative number")
-        if phase == "X":
-            dur = event.get("dur")
-            if not _is_number(dur) or dur < 0:
-                errors.append(
-                    f"{where}: complete event needs non-negative 'dur'"
-                )
-        elif phase == "C":
-            args = event.get("args")
-            if not isinstance(args, dict) or not args:
-                errors.append(f"{where}: counter needs non-empty args")
-            else:
-                for series, value in args.items():
-                    if not _is_number(value):
-                        errors.append(
-                            f"{where}: counter series {series!r} must be "
-                            "a number"
-                        )
-        elif phase in ("i", "I"):
-            scope = event.get("s")
-            if scope is not None and scope not in _INSTANT_SCOPES:
-                errors.append(
-                    f"{where}: instant scope {scope!r} not one of "
-                    f"{sorted(_INSTANT_SCOPES)}"
-                )
+        try:
+            errors.extend(_validate_event(where, event))
+        except Exception as error:  # backstop: a malformed event must
+            # produce a located error, never a traceback for the whole file
+            errors.append(
+                f"{where}: malformed event "
+                f"({type(error).__name__}: {error})"
+            )
+    return errors
+
+
+def _validate_event(where: str, event: Any) -> list[str]:
+    """Errors for a single trace event (empty when valid)."""
+    if not isinstance(event, dict):
+        return [f"{where}: event must be an object"]
+    errors: list[str] = []
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: 'name' must be a non-empty string")
+    phase = event.get("ph")
+    if not isinstance(phase, str) or phase not in _PHASES:
+        errors.append(f"{where}: 'ph' {phase!r} not one of {sorted(_PHASES)}")
+        return errors
+    for key in ("pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"{where}: {key!r} must be an integer")
+    if phase == "M":
+        if isinstance(name, str) and name not in _METADATA_NAMES:
+            errors.append(
+                f"{where}: metadata name {name!r} not one of "
+                f"{sorted(_METADATA_NAMES)}"
+            )
+        args = event.get("args")
+        if not isinstance(args, dict) or "name" not in args:
+            errors.append(f"{where}: metadata needs args with a 'name'")
+        return errors
+    ts = event.get("ts")
+    if not _is_number(ts) or ts < 0:
+        errors.append(f"{where}: 'ts' must be a non-negative number")
+    if phase == "X":
+        dur = event.get("dur")
+        if not _is_number(dur) or dur < 0:
+            errors.append(
+                f"{where}: complete event needs non-negative 'dur'"
+            )
+    elif phase == "C":
+        args = event.get("args")
+        if not isinstance(args, dict) or not args:
+            errors.append(f"{where}: counter needs non-empty args")
+        else:
+            for series, value in args.items():
+                if not _is_number(value):
+                    errors.append(
+                        f"{where}: counter series {series!r} must be "
+                        "a number"
+                    )
+    elif phase in ("i", "I"):
+        scope = event.get("s")
+        if scope is not None and (
+            not isinstance(scope, str) or scope not in _INSTANT_SCOPES
+        ):
+            errors.append(
+                f"{where}: instant scope {scope!r} not one of "
+                f"{sorted(_INSTANT_SCOPES)}"
+            )
     return errors
 
 

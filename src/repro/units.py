@@ -26,6 +26,14 @@ KIB = 1024
 MIB = 1024 * 1024
 GIB = 1024 * 1024 * 1024
 
+#: Bytes per (decimal) kilobyte / megabyte / gigabyte.
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+#: Nanoseconds per second (host wall-clock conversions, not ticks).
+NS_PER_S = 1_000_000_000
+
 
 def ps(value: float) -> int:
     """Convert a picosecond quantity to integer simulation ticks."""

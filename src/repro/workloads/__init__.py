@@ -8,6 +8,7 @@ from repro.workloads.microbench import (
     install_microbench,
     microbench_thread,
 )
+from repro.workloads.seeds import SEED_STRIDE, thread_seed
 from repro.workloads.spin import SpinBarrier
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "KvStore",
     "MemcachedParams",
     "MicrobenchSpec",
+    "SEED_STRIDE",
     "SpinBarrier",
     "generate_graph",
     "install_bfs",
@@ -26,4 +28,5 @@ __all__ = [
     "install_memcached",
     "install_microbench",
     "microbench_thread",
+    "thread_seed",
 ]

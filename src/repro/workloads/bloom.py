@@ -22,6 +22,7 @@ from repro.host.system import System
 from repro.memory import WORD_BYTES, FlatMemory
 from repro.runtime.api import AccessContext
 from repro.workloads.hashing import hash_with_seed
+from repro.workloads.seeds import thread_seed
 
 __all__ = ["BloomParams", "BloomFilter", "bloom_lookup_thread", "install_bloom"]
 
@@ -152,7 +153,7 @@ def install_bloom(
     for core_id in range(system.config.cores):
         present: set[int] = set()
         for slot in range(threads_per_core):
-            keys = make_query_keys(params, thread_seed=core_id * 1000 + slot)
+            keys = make_query_keys(params, thread_seed=thread_seed(core_id, slot))
             present.update(key for key in keys if key < params.items)
         present_by_core[core_id] = present
 
@@ -164,7 +165,7 @@ def install_bloom(
             filters[core_id] = bloom
         out: list[bool] = []
         results[(core_id, slot)] = out
-        keys = make_query_keys(params, thread_seed=core_id * 1000 + slot)
+        keys = make_query_keys(params, thread_seed=thread_seed(core_id, slot))
         return bloom_lookup_thread(ctx, filters[core_id], keys, out)
 
     system.spawn_per_core(threads_per_core, factory)

@@ -19,6 +19,7 @@ from repro.host.system import System
 from repro.memory import WORD_BYTES, FlatMemory
 from repro.runtime.api import AccessContext
 from repro.workloads.hashing import hash_with_seed, mix64
+from repro.workloads.seeds import thread_seed
 
 __all__ = ["MemcachedParams", "KvStore", "memcached_get_thread", "install_memcached"]
 
@@ -186,7 +187,7 @@ def install_memcached(
             stores[core_id] = store
         out: list = []
         results[(core_id, slot)] = out
-        keys = make_get_keys(params, thread_seed=core_id * 1000 + slot)
+        keys = make_get_keys(params, thread_seed=thread_seed(core_id, slot))
         return memcached_get_thread(ctx, stores[core_id], keys, out)
 
     system.spawn_per_core(threads_per_core, factory)

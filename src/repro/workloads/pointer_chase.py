@@ -23,6 +23,7 @@ from repro.errors import ConfigError
 from repro.host.system import System
 from repro.memory import FlatMemory
 from repro.runtime.api import AccessContext
+from repro.workloads.seeds import thread_seed
 
 __all__ = ["PointerChaseParams", "PointerChain", "install_pointer_chase"]
 
@@ -99,7 +100,7 @@ def install_pointer_chase(
     def factory(ctx: AccessContext, core_id: int, slot: int):
         base = system.alloc_data(core_id, PointerChain.size_bytes(params))
         chain = PointerChain(
-            params, base, system.world, seed_offset=core_id * 1000 + slot
+            params, base, system.world, seed_offset=thread_seed(core_id, slot)
         )
         chains[(core_id, slot)] = chain
 

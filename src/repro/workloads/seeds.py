@@ -1,0 +1,20 @@
+"""Deterministic per-thread seed derivation shared by the workloads.
+
+Every workload that gives each simulated thread its own RNG stream
+derives the seed the same way, so a (core, slot) pair always sees the
+same data regardless of which workload or sweep point is running.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SEED_STRIDE", "thread_seed"]
+
+#: Seed-space stride between cores: each core owns this many
+#: consecutive slot seeds, so distinct (core, slot) pairs never
+#: collide while slot < SEED_STRIDE.
+SEED_STRIDE = 1000  # simlint: disable=SIM301 -- seed-space stride, not a unit conversion
+
+
+def thread_seed(core_id: int, slot: int) -> int:
+    """Deterministic RNG seed for the thread at (core, slot)."""
+    return core_id * SEED_STRIDE + slot

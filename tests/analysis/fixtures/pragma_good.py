@@ -1,0 +1,7 @@
+"""Clean: a justified pragma suppressing an intentional violation."""
+
+import time
+
+# simlint: disable-next-line=SIM101 -- host-side stamp for a log
+# file name; never feeds simulation state
+STAMP = time.time()

@@ -1,0 +1,6 @@
+"""Bad: one pragma with an unknown code, one with no justification."""
+
+# simlint: disable=SIM999 -- there is no such code
+FIRST = 1
+
+SECOND = 2  # simlint: disable=SIM101

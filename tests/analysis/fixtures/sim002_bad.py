@@ -1,0 +1,3 @@
+"""Bad: a well-formed pragma that suppresses nothing."""
+
+VALUE = 1  # simlint: disable=SIM101 -- nothing here reads the clock

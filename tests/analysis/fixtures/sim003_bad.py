@@ -1,0 +1,4 @@
+"""Bad: this file does not parse."""
+
+def broken(:
+    pass

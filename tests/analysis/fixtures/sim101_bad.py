@@ -1,0 +1,7 @@
+"""Bad: wall-clock read feeding a return value."""
+
+import time
+
+
+def stamp():
+    return time.time()

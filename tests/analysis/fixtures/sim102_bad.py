@@ -1,0 +1,10 @@
+"""Bad: seedless RNG construction and a global-RNG draw."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    rng = random.Random()
+    return rng.random() + np.random.rand()

@@ -1,0 +1,11 @@
+"""Good: every RNG carries an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return rng.random() + gen.random()

@@ -1,0 +1,7 @@
+"""Bad: iterating a set straight into event scheduling."""
+
+
+def schedule_all(sim, events):
+    pending = {event for event in events}
+    for event in pending:
+        sim.schedule(event)

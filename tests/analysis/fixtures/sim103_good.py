@@ -1,0 +1,7 @@
+"""Good: the set is sorted before iteration."""
+
+
+def schedule_all(sim, events):
+    pending = {event for event in events}
+    for event in sorted(pending):
+        sim.schedule(event)

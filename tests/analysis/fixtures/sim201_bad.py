@@ -1,0 +1,9 @@
+"""Bad: in-function release that is not exception-safe."""
+
+
+def fill(sim, queue):
+    grant = queue.acquire()
+    if not grant.fired:
+        yield grant
+    yield sim.timeout(10)
+    queue.release()

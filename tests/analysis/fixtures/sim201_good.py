@@ -1,0 +1,12 @@
+"""Good: release from a finally, gated on grant.triggered."""
+
+
+def fill(sim, queue):
+    grant = queue.acquire()
+    try:
+        if not grant.fired:
+            yield grant
+        yield sim.timeout(10)
+    finally:
+        if grant.triggered:
+            queue.release()

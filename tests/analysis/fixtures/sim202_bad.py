@@ -1,0 +1,5 @@
+"""Bad: a bare subtraction can schedule into the past."""
+
+
+def wait_until(sim, deadline):
+    yield sim.timeout(deadline - sim.now)

@@ -1,0 +1,5 @@
+"""Good: the delta is clamped at zero."""
+
+
+def wait_until(sim, deadline):
+    yield sim.timeout(max(0, deadline - sim.now))

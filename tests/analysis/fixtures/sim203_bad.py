@@ -1,0 +1,8 @@
+"""Bad: a host-blocking sleep inside a simulation coroutine."""
+
+import time
+
+
+def worker(sim):
+    time.sleep(0.1)
+    yield sim.timeout(1)

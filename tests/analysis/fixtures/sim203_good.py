@@ -1,0 +1,5 @@
+"""Good: waiting is modeled with simulated time."""
+
+
+def worker(sim):
+    yield sim.timeout(1)

@@ -1,0 +1,5 @@
+"""Bad: a magic tick-scale literal in model arithmetic."""
+
+
+def to_us(ticks):
+    return ticks / 1e6

@@ -1,0 +1,7 @@
+"""Good: the conversion goes through repro.units."""
+
+from repro import units
+
+
+def to_us(ticks):
+    return units.to_us(ticks)

@@ -1,0 +1,5 @@
+"""Bad: ns() returns integer ticks, but the name claims ns."""
+
+from repro.units import ns
+
+latency_ns = ns(35.0)

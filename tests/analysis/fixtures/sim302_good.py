@@ -1,0 +1,5 @@
+"""Good: the binding's suffix matches the produced unit."""
+
+from repro.units import ns
+
+latency_ticks = ns(35.0)

@@ -1,0 +1,9 @@
+"""Bad: tracer emission with no liveness guard."""
+
+
+class Widget:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def sample(self, now):
+        self.tracer.counter("w", 1, "w.occupancy", now, {"v": 1})

@@ -1,0 +1,10 @@
+"""Good: emission sits behind the zero-cost guard."""
+
+
+class Widget:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def sample(self, now):
+        if self.tracer is not None:
+            self.tracer.counter("w", 1, "w.occupancy", now, {"v": 1})

@@ -1,0 +1,6 @@
+"""Bad: the same literal probe name registered twice."""
+
+
+def install(metrics):
+    metrics.register("core.retired", lambda: 1)
+    metrics.register("core.retired", lambda: 2)

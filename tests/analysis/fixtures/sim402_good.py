@@ -1,0 +1,6 @@
+"""Good: every probe name is distinct."""
+
+
+def install(metrics):
+    metrics.register("core.retired", lambda: 1)
+    metrics.register("core.stalled", lambda: 2)

@@ -1,0 +1,5 @@
+"""Bad: a probe name built from a live object identity."""
+
+
+def install(metrics, obj):
+    metrics.register(f"core.{id(obj)}.retired", lambda: 1)

@@ -1,0 +1,5 @@
+"""Good: probe names derive from stable indices."""
+
+
+def install(metrics, index):
+    metrics.register(f"core{index}.retired", lambda: 1)

@@ -1,0 +1,117 @@
+"""Baseline round-trips, staleness, and the CLI baseline workflow."""
+
+import io
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.baseline import (
+    BASELINE_FORMAT,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.main import main
+from repro.errors import ConfigError
+
+_VIOLATION = textwrap.dedent('''
+    import time
+
+
+    def stamp():
+        return time.time()
+''')
+
+
+def test_save_load_round_trip(tmp_path):
+    source = tmp_path / "mod.py"
+    source.write_text(_VIOLATION)
+    findings = analyze_paths([source]).all_findings
+    baseline_file = tmp_path / "baseline.json"
+    save_baseline(baseline_file, findings)
+    loaded = load_baseline(baseline_file)
+    assert set(loaded) == {finding.fingerprint for finding in findings}
+    assert loaded[findings[0].fingerprint]["code"] == "SIM101"
+
+
+def test_baselined_findings_are_not_new(tmp_path):
+    source = tmp_path / "mod.py"
+    source.write_text(_VIOLATION)
+    findings = analyze_paths([source]).all_findings
+    baseline = {finding.fingerprint: {} for finding in findings}
+    result = analyze_paths([source], baseline=baseline)
+    assert result.findings == []
+    assert len(result.baselined) == 1
+    assert result.stale_baseline == []
+
+
+def test_fixed_finding_becomes_stale(tmp_path):
+    source = tmp_path / "mod.py"
+    source.write_text(_VIOLATION)
+    findings = analyze_paths([source]).all_findings
+    baseline = {finding.fingerprint: {} for finding in findings}
+    source.write_text("def stamp(sim):\n    return sim.now\n")
+    result = analyze_paths([source], baseline=baseline)
+    assert result.findings == []
+    assert result.baselined == []
+    assert len(result.stale_baseline) == 1
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == {}
+    assert load_baseline(None) == {}
+
+
+def test_corrupt_baseline_raises(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{not json")
+    with pytest.raises(ConfigError):
+        load_baseline(bad)
+    bad.write_text(json.dumps({"format": "wrong-format", "findings": {}}))
+    with pytest.raises(ConfigError):
+        load_baseline(bad)
+
+
+def test_update_baseline_then_strict_clean(tmp_path):
+    """The workflow: --update-baseline accepts the backlog, the next
+    --strict run passes, and fixing the violation flips --strict red
+    until the stale entry is removed."""
+    source = tmp_path / "mod.py"
+    source.write_text(_VIOLATION)
+    baseline_file = tmp_path / "baseline.json"
+
+    out = io.StringIO()
+    assert main(
+        [str(source), "--baseline", str(baseline_file), "--update-baseline"],
+        out,
+    ) == 0
+    assert json.loads(baseline_file.read_text())["format"] == BASELINE_FORMAT
+
+    assert main(
+        [str(source), "--baseline", str(baseline_file), "--strict"],
+        io.StringIO(),
+    ) == 0
+
+    source.write_text("def stamp(sim):\n    return sim.now\n")
+    assert main(
+        [str(source), "--baseline", str(baseline_file)], io.StringIO()
+    ) == 0
+    assert main(
+        [str(source), "--baseline", str(baseline_file), "--strict"],
+        io.StringIO(),
+    ) == 1
+
+
+def test_no_baseline_flag_ignores_baseline(tmp_path):
+    source = tmp_path / "mod.py"
+    source.write_text(_VIOLATION)
+    baseline_file = tmp_path / "baseline.json"
+    save_baseline(baseline_file, analyze_paths([source]).all_findings)
+    assert main(
+        [str(source), "--baseline", str(baseline_file)], io.StringIO()
+    ) == 0
+    assert main(
+        [str(source), "--baseline", str(baseline_file), "--no-baseline"],
+        io.StringIO(),
+    ) == 1

@@ -1,0 +1,85 @@
+"""The ``repro lint`` / ``python -m repro.analysis`` surface: exit
+codes, report formats, the tree-clean gate, and the wall-time budget."""
+
+import io
+import json
+import time
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze_paths
+from repro.analysis.main import main
+from repro.analysis.reporting import REPORT_FORMAT
+from repro.cli import main as repro_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PACKAGE = Path(repro.__file__).resolve().parent
+
+
+def test_clean_file_exits_zero(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    out = io.StringIO()
+    assert main([str(clean)], out) == 0
+    assert "0 finding(s)" in out.getvalue()
+
+
+def test_bad_fixture_exits_one():
+    out = io.StringIO()
+    assert main([str(FIXTURES / "sim101_bad.py"), "--no-baseline"], out) == 1
+    assert "SIM101" in out.getvalue()
+
+
+def test_missing_path_exits_two(tmp_path):
+    assert main([str(tmp_path / "nope.py")], io.StringIO()) == 2
+
+
+def test_corrupt_baseline_exits_two(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{not json")
+    assert main(
+        [str(clean), "--baseline", str(bad)], io.StringIO()
+    ) == 2
+
+
+def test_json_report_schema():
+    out = io.StringIO()
+    main([str(FIXTURES / "sim101_bad.py"), "--format=json",
+          "--no-baseline"], out)
+    report = json.loads(out.getvalue())
+    assert report["format"] == REPORT_FORMAT
+    assert report["files_scanned"] == 1
+    assert report["summary"] == {"SIM101": 1}
+    (finding,) = report["findings"]
+    assert finding["code"] == "SIM101"
+    assert finding["line"] > 0
+    assert finding["fingerprint"]
+    assert "time.time" in finding["message"]
+
+
+def test_repro_cli_lint_subcommand():
+    out = io.StringIO()
+    code = repro_main(
+        ["lint", str(FIXTURES / "sim101_good.py"), "--no-baseline"], out=out
+    )
+    assert code == 0
+    assert "0 finding(s)" in out.getvalue()
+
+
+def test_tree_is_clean_without_any_baseline():
+    """The committed policy: the whole package lints clean with an
+    empty baseline (every real finding is fixed or pragma-annotated)."""
+    out = io.StringIO()
+    assert main([str(PACKAGE), "--no-baseline", "--strict"], out) == 0
+
+
+def test_full_tree_lint_stays_fast():
+    """simlint gates CI, so a full-tree run must stay well under an
+    interactive budget."""
+    start = time.perf_counter()
+    result = analyze_paths([PACKAGE])
+    elapsed = time.perf_counter() - start
+    assert result.files_scanned > 50
+    assert elapsed < 10.0, f"full-tree lint took {elapsed:.1f}s"

@@ -1,0 +1,53 @@
+"""The fixture meta-tests: every code demonstrably fires and every
+good fixture is demonstrably clean.
+
+Fixtures double as living documentation -- ``{code}_bad.py`` is the
+smallest program that violates the contract, ``{code}_good.py`` the
+idiomatic fix.  The meta-test keeps the registry honest: adding a code
+to :mod:`repro.analysis.codes` without a firing fixture fails here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.codes import CODES, META_CODES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.mark.parametrize("code", sorted(CODES))
+def test_every_code_has_a_firing_bad_fixture(code):
+    path = FIXTURES / f"{code.lower()}_bad.py"
+    assert path.exists(), f"no bad fixture for {code}"
+    result = analyze_paths([path])
+    fired = {finding.code for finding in result.findings}
+    assert code in fired, f"{path.name} does not fire {code} (got {fired})"
+
+
+@pytest.mark.parametrize("code", sorted(set(CODES) - META_CODES))
+def test_every_checker_code_has_a_clean_good_fixture(code):
+    path = FIXTURES / f"{code.lower()}_good.py"
+    assert path.exists(), f"no good fixture for {code}"
+    result = analyze_paths([path])
+    assert result.findings == [], [
+        finding.describe() for finding in result.findings
+    ]
+
+
+def test_pragma_fixture_is_clean():
+    result = analyze_paths([FIXTURES / "pragma_good.py"])
+    assert result.findings == []
+
+
+def test_bad_fixtures_fire_only_their_own_family():
+    """A bad fixture may fire its code more than once but must not drag
+    in unrelated codes (that would make the fixtures misleading)."""
+    for path in sorted(FIXTURES.glob("sim*_bad.py")):
+        expected = path.stem.split("_")[0].upper()
+        result = analyze_paths([path])
+        fired = {finding.code for finding in result.findings}
+        assert fired == {expected}, (
+            f"{path.name} fires {sorted(fired)}, expected only {expected}"
+        )

@@ -1,0 +1,164 @@
+"""Pragma parsing, suppression scopes, and hygiene diagnostics."""
+
+import textwrap
+
+from repro.analysis import analyze_source
+from repro.analysis.pragmas import parse_pragmas
+
+
+def _codes(findings):
+    return sorted(finding.code for finding in findings)
+
+
+def test_line_pragma_suppresses_same_line():
+    findings = analyze_source(textwrap.dedent('''
+        import time
+
+
+        def stamp():
+            return time.time()  # simlint: disable=SIM101 -- host-side log stamp
+    '''))
+    assert findings == []
+
+
+def test_next_line_pragma_suppresses_following_line():
+    findings = analyze_source(textwrap.dedent('''
+        import time
+
+
+        def stamp():
+            # simlint: disable-next-line=SIM101 -- host-side log stamp
+            return time.time()
+    '''))
+    assert findings == []
+
+
+def test_next_line_pragma_skips_wrapped_justification_comments():
+    """A justification wrapped over several comment lines still points
+    the pragma at the first following code line."""
+    findings = analyze_source(textwrap.dedent('''
+        import time
+
+
+        def stamp():
+            # simlint: disable-next-line=SIM101 -- the justification of
+            # this suppression wraps across three comment lines, which
+            # must not unhook the pragma from the code below
+            return time.time()
+    '''))
+    assert findings == []
+
+
+def test_blank_line_breaks_next_line_pragma():
+    """A pragma never suppresses at a distance: a blank line between
+    pragma and code leaves the violation live (plus SIM002 for the now
+    useless pragma)."""
+    findings = analyze_source(textwrap.dedent('''
+        import time
+
+
+        def stamp():
+            # simlint: disable-next-line=SIM101 -- orphaned
+
+            return time.time()
+    '''))
+    assert _codes(findings) == ["SIM002", "SIM101"]
+
+
+def test_file_pragma_suppresses_everywhere():
+    findings = analyze_source(textwrap.dedent('''
+        # simlint: disable-file=SIM101 -- host-side timing helpers
+        import time
+
+
+        def first():
+            return time.time()
+
+
+        def second():
+            return time.monotonic()
+    '''))
+    assert findings == []
+
+
+def test_missing_justification_is_sim001():
+    findings = analyze_source(textwrap.dedent('''
+        import time
+
+
+        def stamp():
+            return time.time()  # simlint: disable=SIM101
+    '''))
+    # The malformed pragma does not suppress, so the violation stays.
+    assert _codes(findings) == ["SIM001", "SIM101"]
+
+
+def test_unknown_code_is_sim001():
+    findings = analyze_source(
+        "X = 1  # simlint: disable=SIM999 -- no such code\n"
+    )
+    assert _codes(findings) == ["SIM001"]
+
+
+def test_unparsable_pragma_is_sim001():
+    findings = analyze_source(
+        "X = 1  # simlint: disable SIM101 missing equals\n"
+    )
+    assert _codes(findings) == ["SIM001"]
+
+
+def test_unused_pragma_is_sim002():
+    findings = analyze_source(
+        "X = 1  # simlint: disable=SIM101 -- nothing to suppress\n"
+    )
+    assert _codes(findings) == ["SIM002"]
+
+
+def test_meta_codes_are_not_suppressible():
+    """SIM001 cannot be silenced by a pragma naming SIM001."""
+    findings = analyze_source(textwrap.dedent('''
+        # simlint: disable-file=SIM001 -- trying to silence hygiene
+        X = 1  # simlint: disable=SIM101
+    '''))
+    codes = _codes(findings)
+    # The disable-file pragma is itself malformed (meta code), and the
+    # justification-less line pragma still gets reported.
+    assert codes.count("SIM001") == 2
+
+
+def test_pragma_in_string_literal_is_ignored():
+    findings = analyze_source(textwrap.dedent('''
+        DOC = "example:  # simlint: disable=SIM101"
+    '''))
+    assert findings == []
+
+
+def test_pragma_in_docstring_is_ignored():
+    findings = analyze_source(textwrap.dedent('''
+        def helper():
+            """Mentions # simlint: disable=bogus inside a docstring."""
+            return 1
+    '''))
+    assert findings == []
+
+
+def test_multiple_codes_in_one_pragma():
+    findings = analyze_source(textwrap.dedent('''
+        import time
+
+
+        def stamp(sim, deadline):
+            # simlint: disable-next-line=SIM101, SIM202 -- host-side helper
+            return sim.timeout(deadline - sim.now), time.time()
+    '''))
+    assert findings == []
+
+
+def test_parse_pragmas_records_justification():
+    pragmas = parse_pragmas(
+        "X = 1  # simlint: disable=SIM301 -- seed stride, not a unit\n"
+    ).pragmas
+    assert len(pragmas) == 1
+    assert pragmas[0].codes == ("SIM301",)
+    assert pragmas[0].justification == "seed stride, not a unit"
+    assert pragmas[0].problem == ""

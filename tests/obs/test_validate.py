@@ -1,0 +1,61 @@
+"""Regression tests for the trace validator's handling of malformed
+events.
+
+A malformed trace must produce located errors (``traceEvents[i]: ...``)
+and a non-zero CLI exit, never an unhandled traceback -- unhashable
+values in ``ph``/``s`` used to raise TypeError out of the set-membership
+checks.
+"""
+
+import json
+
+from repro.obs.validate import main, validate_trace
+
+
+def _event(**overrides):
+    event = {"name": "ev", "ph": "i", "pid": 1, "tid": 1, "ts": 5}
+    event.update(overrides)
+    return event
+
+
+def test_unhashable_phase_reports_index_not_traceback():
+    errors = validate_trace({"traceEvents": [_event(), _event(ph=[])]})
+    assert len(errors) == 1
+    assert errors[0].startswith("traceEvents[1]:")
+    assert "'ph'" in errors[0]
+
+
+def test_unhashable_metadata_name_reports_index():
+    bad = {"name": ["x"], "ph": "M", "pid": 1, "tid": 1,
+           "args": {"name": "core"}}
+    errors = validate_trace({"traceEvents": [bad]})
+    assert errors
+    assert all(error.startswith("traceEvents[0]:") for error in errors)
+
+
+def test_unhashable_instant_scope_reports_index():
+    errors = validate_trace({"traceEvents": [_event(s={"g": 1})]})
+    assert len(errors) == 1
+    assert errors[0].startswith("traceEvents[0]:")
+    assert "scope" in errors[0]
+
+
+def test_error_carries_offending_index_among_valid_events():
+    events = [_event(), _event(), _event(ph=[]), _event()]
+    errors = validate_trace({"traceEvents": events})
+    assert len(errors) == 1
+    assert "traceEvents[2]" in errors[0]
+
+
+def test_cli_exits_nonzero_on_malformed_trace(tmp_path, capsys):
+    trace = tmp_path / "bad.json"
+    trace.write_text(json.dumps({"traceEvents": [_event(ph=[])]}))
+    assert main([str(trace)]) == 1
+    err = capsys.readouterr().err
+    assert "traceEvents[0]" in err
+
+
+def test_cli_exits_zero_on_valid_trace(tmp_path, capsys):
+    trace = tmp_path / "good.json"
+    trace.write_text(json.dumps({"traceEvents": [_event()]}))
+    assert main([str(trace)]) == 0
