@@ -114,6 +114,42 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scale", choices=("quick", "full"), default="quick")
     _add_engine_flags(sweep)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the memcached workload as an open-loop service and "
+             "report tail-latency SLO metrics (p50/p99/p999, jitter)",
+    )
+    serve.add_argument("--rate", type=float, default=0.2, metavar="R",
+                       help="offered load, requests/us per core (default 0.2)")
+    serve.add_argument("--arrivals", choices=("poisson", "mmpp"),
+                       default="poisson", help="interarrival process")
+    serve.add_argument("--burst-ratio", type=float, default=8.0,
+                       help="MMPP burst-state rate multiplier (default 8)")
+    serve.add_argument("--burst-fraction", type=float, default=0.1,
+                       help="MMPP fraction of time in the burst state")
+    serve.add_argument("--dwell-us", type=float, default=20.0,
+                       help="MMPP mean burst dwell time in us")
+    serve.add_argument("--theta", type=float, default=0.0,
+                       help="Zipfian key skew in [0, 1); 0 = uniform")
+    serve.add_argument("--items", type=int, default=2048,
+                       help="key-value store size (and key space)")
+    serve.add_argument("--mechanism", choices=sorted(_MECHANISMS),
+                       default="software-queue")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="polling service workers per core (default 8)")
+    serve.add_argument("--cores", type=int, default=1)
+    serve.add_argument("--latency-us", type=float, default=1.0)
+    serve.add_argument("--ring", type=int, default=None, metavar="N",
+                       help="SWQ ring entries per core (power of two; "
+                            "default: config default)")
+    serve.add_argument("--seed", type=int, default=1,
+                       help="load-generator seed (arrivals and keys)")
+    serve.add_argument("--warmup-us", type=float, default=40.0)
+    serve.add_argument("--measure-us", type=float, default=400.0)
+    serve.add_argument("--check-invariants", action="store_true",
+                       help="run the online invariant sanitizer alongside "
+                            "the simulation (passive; results unchanged)")
+
     app = commands.add_parser("app", help="run one application study")
     app.add_argument("name", choices=sorted(APPLICATIONS))
     app.add_argument("--mechanism", choices=sorted(_MECHANISMS), default="prefetch")
@@ -382,11 +418,29 @@ def _record_figure_result(record, args, figure, engine) -> None:
     record["sweep"] = dict(engine.last_stats)
 
 
+def _print_queue_rule(figure, out, record) -> None:
+    """For figA_slo: report whether the section V-B sizing rule held."""
+    from repro.harness.figures import queue_rule_report
+
+    report = queue_rule_report(figure)
+    if record is not None:
+        record["queue_rule"] = report
+    verdict = "HOLDS" if report["holds"] else "VIOLATED"
+    print(f"queue rule    : {report['rule']} -- {verdict}", file=out)
+    for cores in sorted(report["per_cores"]):
+        entry = report["per_cores"][cores]
+        print(f"  {cores} core(s) @ {entry['offered_per_core_us']:g}/us: "
+              f"p99 rule-sized {entry['rule-sized']:.1f} us vs "
+              f"under-rule {entry['under-rule']:.1f} us", file=out)
+
+
 def _command_figure(args: argparse.Namespace, out, record=None) -> int:
     engine = _engine_from_args(args)
     figure = ALL_FIGURES[args.name](args.scale, engine=engine)
     _record_figure_result(record, args, figure, engine)
     print(render_table(figure), file=out)
+    if args.name == "figA_slo":
+        _print_queue_rule(figure, out, record)
     if args.chart:
         print(render_chart(figure), file=out)
     if args.csv:
@@ -435,6 +489,71 @@ def _command_sweep(args: argparse.Namespace, out, record=None) -> int:
         print(f"per-job wall  : {per_job.mean / units.NS_PER_S:.3f} s mean, "
               f"{(per_job.maximum or 0) / units.NS_PER_S:.3f} s max", file=out)
     print(f"total wall    : {wall:.2f} s", file=out)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace, out, record=None) -> int:
+    from repro.config import SwqConfig
+    from repro.harness.service import ServiceParams, run_service
+    from repro.workloads.loadgen import (
+        ArrivalKind,
+        ArrivalSpec,
+        KeySpec,
+        OpenLoopSpec,
+    )
+
+    swq = SwqConfig() if args.ring is None else SwqConfig(ring_entries=args.ring)
+    config = SystemConfig(
+        mechanism=_MECHANISMS[args.mechanism],
+        cores=args.cores,
+        threads_per_core=args.workers,
+        device=DeviceConfig(total_latency_us=args.latency_us),
+        swq=swq,
+    )
+    spec = OpenLoopSpec(
+        arrivals=ArrivalSpec(
+            kind=ArrivalKind(args.arrivals),
+            rate_per_us=args.rate,
+            burst_ratio=args.burst_ratio,
+            burst_fraction=args.burst_fraction,
+            mean_dwell_us=args.dwell_us,
+        ),
+        keys=KeySpec(items=args.items, theta=args.theta),
+        seed=args.seed,
+    )
+    params = ServiceParams(
+        open_loop=spec,
+        items=args.items,
+        workers_per_core=args.workers,
+    )
+    window = MeasureWindow(warmup_us=args.warmup_us, measure_us=args.measure_us)
+    result = run_service(
+        config, params, window, check_invariants=args.check_invariants
+    )
+    if record is not None:
+        record["config_digest"] = stable_digest(config, params, window)
+        record["check_invariants"] = args.check_invariants
+        record["results"] = result.payload()
+    print(f"configuration : {config.describe()}", file=out)
+    print(f"load          : {args.arrivals} arrivals, "
+          f"{result.offered_per_core_us:g} req/us/core offered, "
+          f"zipf theta {args.theta:g}", file=out)
+    print(f"achieved      : {result.achieved_per_us:.3f} req/us total "
+          f"({result.completions} completions, "
+          f"{result.arrivals} arrivals in window)", file=out)
+    print(f"sojourn p50   : {result.p50_ns / units.US * units.NS:.2f} us",
+          file=out)
+    print(f"sojourn p99   : {result.p99_ns / units.US * units.NS:.2f} us",
+          file=out)
+    print(f"sojourn p999  : {result.p999_ns / units.US * units.NS:.2f} us",
+          file=out)
+    print(f"sojourn mean  : {result.mean_ns / units.US * units.NS:.2f} us, "
+          f"jitter {result.jitter_ns / units.US * units.NS:.2f} us, "
+          f"max {result.max_ns / units.US * units.NS:.2f} us", file=out)
+    print(f"queue wait p99: {result.wait_p99_ns / units.US * units.NS:.2f} us",
+          file=out)
+    print(f"host queue    : {result.queue_depth_mean:.2f} mean / "
+          f"{result.queue_depth_max:.0f} max requests waiting", file=out)
     return 0
 
 
@@ -638,13 +757,15 @@ def _command_list(out) -> int:
 
 #: Commands that append a provenance record to the run ledger.
 _RECORDED_COMMANDS = frozenset(
-    {"run", "trace", "figure", "sweep", "app", "profile"}
+    {"run", "serve", "trace", "figure", "sweep", "app", "profile"}
 )
 
 
 def _dispatch(args: argparse.Namespace, out, record) -> int:
     if args.command == "run":
         return _command_run(args, out, record)
+    if args.command == "serve":
+        return _command_serve(args, out, record)
     if args.command == "trace":
         return _command_trace(args, out, record)
     if args.command == "figure":

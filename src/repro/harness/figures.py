@@ -34,12 +34,16 @@ from typing import Optional, Sequence
 from repro.config import (
     AccessMechanism,
     DeviceConfig,
+    SwqConfig,
     SystemConfig,
 )
 from repro.errors import SimulationError
 from repro.harness.applications import APPLICATIONS, default_params
 from repro.harness.experiment import MeasureWindow
+from repro.harness.service import ServiceParams
 from repro.harness.sweep import SweepEngine, SweepJob, SweepSpec, baseline_job
+from repro.units import NS, US
+from repro.workloads.loadgen import ArrivalSpec, KeySpec, OpenLoopSpec
 from repro.workloads.microbench import MicrobenchSpec
 
 __all__ = [
@@ -54,6 +58,8 @@ __all__ = [
     "fig8",
     "fig9",
     "fig10",
+    "figA_slo",
+    "queue_rule_report",
     "ALL_FIGURES",
 ]
 
@@ -496,6 +502,117 @@ def fig10(scale: str = "quick", engine: Optional[SweepEngine] = None) -> FigureR
     return result
 
 
+# ---------------------------------------------------------------------------
+# Figure A (beyond the paper): open-loop tail latency vs offered load
+# ---------------------------------------------------------------------------
+
+#: Services need a longer steady-state window than the closed-loop
+#: microbenchmarks: the tail percentiles are computed from the requests
+#: *completing inside* the window, so the window must hold enough
+#: arrivals for a p99 to be meaningful.
+_SLO_WINDOW = MeasureWindow(warmup_us=40.0, measure_us=400.0)
+
+#: Polling service workers per logical core (the fig8 regime where SWQ
+#: keeps the device busy: enough threads to overlap many accesses).
+_SLO_WORKERS = 16
+
+#: Queue-sizing policies under test, as per-core SWQ ring entries.  At
+#: 1 us device latency the paper's rule (section V-B) wants ~20
+#: entries per core (~20 x latency_us x cores chip-wide); rings must
+#: be powers of two, so 32 satisfies the rule and 8 violates it.
+_SLO_POLICIES = (("under-rule", 8), ("rule-sized", 32))
+
+#: Sojourn quantiles reported per curve.
+_SLO_QUANTILES = (("p50", "p50_ns"), ("p99", "p99_ns"), ("p999", "p999_ns"))
+
+
+def figA_slo(
+    scale: str = "quick", engine: Optional[SweepEngine] = None
+) -> FigureResult:
+    """Open-loop Poisson load on the fig8 multicore SWQ configuration.
+
+    X-axis: offered load (requests per microsecond per core); curves:
+    p50/p99/p999 end-to-end sojourn time (microseconds, measurement
+    window only) for each queue-sizing policy and core count.  This is
+    the figure the paper does not have: what the closed-loop thread
+    sweeps hide is exactly where tail latency becomes binding when
+    requests keep arriving regardless of completion.
+    """
+    result = FigureResult(
+        "figA_slo",
+        "Open-loop tail latency vs offered load (SWQ, 1us device)",
+        xlabel="offered load (requests/us/core)",
+        ylabel="sojourn latency (us)",
+    )
+    cores_grid = (1, 2, 4, 8) if scale == "full" else (1, 8)
+    loads = (
+        (0.05, 0.1, 0.15, 0.2, 0.25, 0.3)
+        if scale == "full"
+        else (0.1, 0.2, 0.3)
+    )
+    engine = _resolve_engine(engine)
+    sweep = SweepSpec("figA_slo")
+    grid = []
+    for policy, ring_entries in _SLO_POLICIES:
+        for cores in cores_grid:
+            lines = {
+                key: result.new_series(f"{policy}/{cores}core/{key}")
+                for key, _field in _SLO_QUANTILES
+            }
+            for load in loads:
+                config = SystemConfig(
+                    mechanism=AccessMechanism.SOFTWARE_QUEUE,
+                    cores=cores,
+                    threads_per_core=_SLO_WORKERS,
+                    device=DeviceConfig(total_latency_us=1.0),
+                    swq=SwqConfig(ring_entries=ring_entries),
+                )
+                service = ServiceParams(
+                    open_loop=OpenLoopSpec(
+                        arrivals=ArrivalSpec(rate_per_us=load),
+                        keys=KeySpec(theta=0.0),
+                    ),
+                    workers_per_core=_SLO_WORKERS,
+                )
+                job = sweep.add(
+                    SweepJob(config=config, service=service, window=_SLO_WINDOW)
+                )
+                grid.append((lines, load, job))
+    outcomes = engine.run(sweep)
+    ns_per_us = US / NS
+    for (lines, load, _job), outcome in zip(grid, outcomes):
+        for key, payload_field in _SLO_QUANTILES:
+            lines[key].add(load, outcome.payload[payload_field] / ns_per_us)
+    return result
+
+
+def queue_rule_report(figure: FigureResult) -> dict:
+    """Does the ~20 x latency_us x cores queue-sizing rule hold?
+
+    For every core count in a :func:`figA_slo` result, compares the
+    rule-sized and under-rule p99 curves at the highest common offered
+    load.  The rule "holds" for a core count when the rule-sized queue
+    meets or beats the undersized one at the tail (it may tie when the
+    load is too light for the ring to ever fill).
+    """
+    per_cores: dict[int, dict] = {}
+    for line in figure.series:
+        policy, cores_tag, quantile = line.label.split("/")
+        if quantile != "p99":
+            continue
+        cores = int(cores_tag.removesuffix("core"))
+        x, y = line.points[-1]
+        entry = per_cores.setdefault(cores, {"offered_per_core_us": x})
+        entry[policy] = y
+    for cores, entry in per_cores.items():
+        entry["holds"] = entry["rule-sized"] <= entry["under-rule"] * 1.001
+    return {
+        "rule": "~20 x latency_us x cores total SWQ entries",
+        "per_cores": per_cores,
+        "holds": all(entry["holds"] for entry in per_cores.values()),
+    }
+
+
 #: Registry used by the report example and the benchmark suite.
 ALL_FIGURES = {
     "fig2": fig2,
@@ -507,4 +624,5 @@ ALL_FIGURES = {
     "fig8": fig8,
     "fig9": fig9,
     "fig10": fig10,
+    "figA_slo": figA_slo,
 }

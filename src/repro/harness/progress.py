@@ -46,6 +46,7 @@ class SweepProgress:
         self._done = 0
         self._cache_hits = 0
         self._workers = 1
+        self._observed_workers = 1
         self._ewma_s: Optional[float] = None
         self._started = 0.0
         self._last_render = float("-inf")
@@ -63,6 +64,7 @@ class SweepProgress:
         self._done = 0
         self._cache_hits = cache_hits
         self._workers = max(1, workers)
+        self._observed_workers = 1
         self._ewma_s = None
         self._started = self._clock()
         self._last_render = float("-inf")
@@ -72,6 +74,10 @@ class SweepProgress:
         """One job finished after ``wall_s`` seconds; ``active`` workers
         are still busy."""
         self._done += 1
+        # ``active`` excludes the worker that just freed up, so the
+        # concurrency this completion witnessed is ``active + 1``
+        # (1 on the serial path, which reports active=0).
+        self._observed_workers = max(self._observed_workers, active + 1)
         if self._ewma_s is None:
             self._ewma_s = wall_s
         else:
@@ -102,7 +108,12 @@ class SweepProgress:
         if self._ewma_s is None or self._done >= self._total:
             return None
         remaining = self._total - self._done
-        return self._ewma_s * remaining / self._workers
+        # Divide by the concurrency actually observed, not the
+        # configured worker count: the serial in-process path reports
+        # active=0 on every completion, so dividing by the configured
+        # ``--jobs`` made serial ETAs up to jobs-times too optimistic.
+        workers = min(self._workers, self._observed_workers)
+        return self._ewma_s * remaining / workers
 
     def _render(self, active: int, force: bool = False) -> None:
         now = self._clock()

@@ -61,6 +61,7 @@ from repro.config import (
 from repro.errors import ConfigError
 from repro.harness.applications import run_application
 from repro.harness.experiment import MeasureWindow, run_microbench
+from repro.harness.service import ServiceParams, run_service
 from repro.sim import collect_kernel_stats
 from repro.sim.trace import ProbeSet
 from repro.units import NS_PER_S
@@ -80,15 +81,18 @@ __all__ = [
 #: Cache salt: bump whenever a model change alters simulator outputs
 #: *or the payload schema*, so every previously cached sweep result is
 #: invalidated at once.  "2": payloads grew per-job ``kernel_stats``.
-MODEL_VERSION = "2"
+#: "3": registry latency snapshots became window-aware (p50/p99 now
+#: exclude warmup, p999/jitter added) and the service job kind landed.
+MODEL_VERSION = "3"
 
 
 @dataclass(frozen=True)
 class SweepJob:
     """One independent simulator run inside a sweep.
 
-    Either a windowed microbenchmark measurement (``spec`` + ``window``)
-    or a run-to-completion application study (``app`` + ``params``).
+    Either a windowed microbenchmark measurement (``spec`` + ``window``),
+    a run-to-completion application study (``app`` + ``params``), or an
+    open-loop service measurement (``service`` + ``window``).
     ``label`` is an opaque tag threaded through to the outcome for the
     caller's bookkeeping; it is never part of the cache key.
     """
@@ -98,10 +102,16 @@ class SweepJob:
     window: Optional[MeasureWindow] = None
     app: Optional[str] = None
     params: object = None
+    service: Optional[ServiceParams] = None
     label: object = None
 
     def __post_init__(self) -> None:
-        if self.app is None:
+        if self.service is not None:
+            if self.spec is not None or self.app is not None:
+                raise ConfigError("a service job takes no spec/app")
+            if self.window is None:
+                object.__setattr__(self, "window", MeasureWindow())
+        elif self.app is None:
             if self.spec is None:
                 raise ConfigError("a microbench job needs a MicrobenchSpec")
             if self.window is None:
@@ -111,12 +121,21 @@ class SweepJob:
 
     @property
     def kind(self) -> str:
+        if self.service is not None:
+            return "service"
         return "application" if self.app is not None else "microbench"
 
     def describe(self) -> str:
-        target = self.app if self.app is not None else (
-            f"microbench work={self.spec.work_count}"
-        )
+        if self.service is not None:
+            arrivals = self.service.open_loop.arrivals
+            target = (
+                f"service {arrivals.kind.value} "
+                f"{arrivals.rate_per_us:g}/us/core"
+            )
+        elif self.app is not None:
+            target = self.app
+        else:
+            target = f"microbench work={self.spec.work_count}"
         return f"{target} on {self.config.describe()}"
 
 
@@ -148,7 +167,14 @@ class JobOutcome:
 def job_digest(job: SweepJob, salt: str = MODEL_VERSION) -> str:
     """Content-addressed cache key of ``job`` (label excluded)."""
     return stable_digest(
-        salt, job.kind, job.config, job.spec, job.window, job.app, job.params
+        salt,
+        job.kind,
+        job.config,
+        job.spec,
+        job.window,
+        job.app,
+        job.params,
+        job.service,
     )
 
 
@@ -167,6 +193,11 @@ def baseline_job(job: SweepJob) -> SweepJob:
     defaults, so a latency sweep shares one baseline run instead of
     re-simulating an identical baseline per device latency.
     """
+    if job.service is not None:
+        raise ConfigError(
+            "service jobs report absolute SLO latencies; there is no "
+            "normalizing baseline to derive"
+        )
     config = job.config.replace(
         cores=1,
         threads_per_core=1,
@@ -200,7 +231,18 @@ def _execute_job(
     throughput even for work done in worker processes.
     """
     with collect_kernel_stats() as kernel:
-        if job.app is not None:
+        if job.service is not None:
+            service_run = run_service(
+                job.config,
+                job.service,
+                job.window,
+                collect_metrics=collect_metrics,
+                check_invariants=check_invariants,
+            )
+            payload = {"kind": "service", **service_run.payload()}
+            if collect_metrics:
+                payload["metrics"] = service_run.report["metrics"]
+        elif job.app is not None:
             run = run_application(
                 job.config,
                 job.app,
@@ -278,6 +320,7 @@ class ResultCache:
                     "window": job.window,
                     "app": job.app,
                     "params": job.params,
+                    "service": job.service,
                 }
             ),
             "result": result,

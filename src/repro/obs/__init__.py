@@ -23,6 +23,7 @@ from repro.obs.tracer import (
     PID_CORES,
     PID_DEVICE,
     PID_PCIE,
+    PID_SERVICE,
     PID_UNCORE,
     TRACKS,
     TraceConfig,
@@ -38,6 +39,7 @@ __all__ = [
     "PID_UNCORE",
     "PID_PCIE",
     "PID_DEVICE",
+    "PID_SERVICE",
     "InvariantMonitor",
     "InvariantViolation",
     "TeeTracer",

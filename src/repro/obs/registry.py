@@ -41,6 +41,8 @@ def _render(probe: Probe, now: int) -> dict:
             "windowed": probe.windowed,
         }
     if isinstance(probe, LatencyStat):
+        # percentile()/jitter are window-aware: inside a measurement
+        # window they report from the warmup-excluding reservoir.
         return {
             "type": "latency",
             "count": probe.count,
@@ -49,6 +51,9 @@ def _render(probe: Probe, now: int) -> dict:
             "max": probe.maximum,
             "p50": _finite(probe.percentile(50)),
             "p99": _finite(probe.percentile(99)),
+            "p999": _finite(probe.percentile(99.9)),
+            "jitter": _finite(probe.jitter),
+            "windowed": bool(probe.windowed_count),
             "windowed_count": probe.windowed_count,
             "windowed_mean": _finite(probe.windowed_mean),
         }

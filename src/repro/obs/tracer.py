@@ -38,6 +38,7 @@ __all__ = [
     "PID_UNCORE",
     "PID_PCIE",
     "PID_DEVICE",
+    "PID_SERVICE",
     "TraceConfig",
     "Tracer",
 ]
@@ -52,8 +53,10 @@ __all__ = [
 #: * ``device`` -- delay-module holds (request arrival to release)
 #: * ``swq``    -- descriptor-fetch bursts, doorbells, ring depths
 #: * ``sched``  -- uthread slices and completion polls (section IV-B)
+#: * ``service`` -- open-loop request lifecycles (arrival to response)
+#:   and host-queue depth counters (the SLO layer)
 TRACKS: FrozenSet[str] = frozenset(
-    {"rob", "lfb", "queues", "pcie", "device", "swq", "sched"}
+    {"rob", "lfb", "queues", "pcie", "device", "swq", "sched", "service"}
 )
 
 #: Process-ID groups of the rendered timeline (named via metadata
@@ -62,6 +65,7 @@ PID_CORES = 1
 PID_UNCORE = 2
 PID_PCIE = 3
 PID_DEVICE = 4
+PID_SERVICE = 5
 
 #: Ticks are integer picoseconds; trace-event ``ts``/``dur`` are
 #: microseconds (floats allowed, so no precision is lost for display).

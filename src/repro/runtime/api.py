@@ -291,14 +291,22 @@ class SoftwareQueueContext(AccessContext):
             )
 
     def _wait_for_ring_space(self):
-        """Spin (yielding the core) while the request ring is full.
+        """Spin (yielding the core) while the queue pair is full.
 
         Real enqueue code tail-checks the ring head; under extreme
         oversubscription the producer waits for the device's fetcher
-        to drain entries rather than corrupting the ring.
+        to drain entries rather than corrupting the ring.  The second
+        condition is the SQ/CQ credit discipline: never keep more
+        reads outstanding than the completion ring can hold, or the
+        device's completion writes would overflow it (binding when the
+        ring is undersized relative to the thread count -- exactly the
+        queue-sizing experiments).
         """
         queue_pair = self.queue_pair
-        while queue_pair.requests_pending >= queue_pair.entries:
+        while (
+            queue_pair.requests_pending >= queue_pair.entries
+            or queue_pair.reads_outstanding >= queue_pair.entries
+        ):
             yield from self.software_cost(self.swq_config.poll_instructions)
             yield YIELD_CONTROL
 

@@ -80,6 +80,12 @@ class QueuePair:
         # enqueued == fetched + pending, posted == consumed + visible.
         self.descriptors_fetched = 0
         self.completions_consumed = 0
+        #: Read descriptors submitted but not yet consumed as
+        #: completions.  The host must keep this below ``entries`` --
+        #: the completion ring is the same depth as the request ring,
+        #: so submitting more reads than it can hold would overflow it
+        #: (the standard SQ/CQ credit discipline).
+        self.reads_outstanding = 0
 
     def register_metrics(self, registry, prefix: str) -> None:
         registry.register(f"{prefix}.doorbells_rung", lambda: self.doorbells_rung)
@@ -111,6 +117,8 @@ class QueuePair:
             )
         self._requests.append(descriptor)
         self.descriptors_enqueued += 1
+        if not descriptor.is_write:
+            self.reads_outstanding += 1
         self.max_request_depth = max(self.max_request_depth, len(self._requests))
 
     def note_doorbell(self) -> None:
@@ -122,6 +130,7 @@ class QueuePair:
         """Host: consume the oldest visible completion, if any."""
         if self._completions:
             self.completions_consumed += 1
+            self.reads_outstanding -= 1
             return self._completions.popleft()
         return None
 

@@ -83,14 +83,21 @@ class LatencyStat:
     """Streaming min/mean/max/percentile tracker for latencies.
 
     Like :class:`Counter`, the stat keeps a windowed sub-aggregate
-    (count/total/min/max) accumulated only while :attr:`active`, so the
-    steady-state measurement window excludes warmup latencies.
+    (count/total/sum-of-squares/min/max *and* a sample reservoir)
+    accumulated only while :attr:`active`, so the steady-state
+    measurement window excludes warmup latencies.  :meth:`percentile`
+    is window-aware: once a measurement window has recorded samples it
+    reports from the windowed reservoir, so tail percentiles (p99,
+    p999) are never polluted by warmup observations; probes that never
+    activate a window keep reporting lifetime percentiles.
     """
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum",
+    __slots__ = ("name", "count", "total", "total_sq",
+                 "minimum", "maximum",
                  "_samples", "_stride", "_next_sample", "active",
-                 "windowed_count", "windowed_total",
-                 "windowed_min", "windowed_max")
+                 "windowed_count", "windowed_total", "windowed_total_sq",
+                 "windowed_min", "windowed_max",
+                 "_windowed_samples", "_windowed_stride", "_windowed_next")
 
     #: Cap on retained samples; beyond it we subsample deterministically.
     #: Must stay even: subsampling keeps even indices, and the proof
@@ -102,6 +109,7 @@ class LatencyStat:
         self.name = name
         self.count = 0
         self.total = 0
+        self.total_sq = 0
         self.minimum: Optional[int] = None
         self.maximum: Optional[int] = None
         self._samples: list[int] = []
@@ -115,12 +123,21 @@ class LatencyStat:
         self.active = False
         self.windowed_count = 0
         self.windowed_total = 0
+        self.windowed_total_sq = 0
         self.windowed_min: Optional[int] = None
         self.windowed_max: Optional[int] = None
+        #: Windowed sample reservoir, maintained with the same
+        #: deterministic stride subsampling as the lifetime one but
+        #: keyed on the *windowed* count, so the retained population is
+        #: exactly the measurement window's observations.
+        self._windowed_samples: list[int] = []
+        self._windowed_stride = 1
+        self._windowed_next = 1
 
     def record(self, value: int) -> None:
         self.count += 1
         self.total += value
+        self.total_sq += value * value
         if self.minimum is None or value < self.minimum:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
@@ -128,10 +145,19 @@ class LatencyStat:
         if self.active:
             self.windowed_count += 1
             self.windowed_total += value
+            self.windowed_total_sq += value * value
             if self.windowed_min is None or value < self.windowed_min:
                 self.windowed_min = value
             if self.windowed_max is None or value > self.windowed_max:
                 self.windowed_max = value
+            if self.windowed_count == self._windowed_next:
+                self._windowed_samples.append(value)
+                if len(self._windowed_samples) > self.MAX_SAMPLES:
+                    self._windowed_samples = self._windowed_samples[::2]
+                    self._windowed_stride *= 2
+                self._windowed_next = (
+                    self.windowed_count + self._windowed_stride
+                )
         if self.count == self._next_sample:
             self._samples.append(value)
             if len(self._samples) > self.MAX_SAMPLES:
@@ -153,15 +179,56 @@ class LatencyStat:
             return math.nan
         return self.windowed_total / self.windowed_count
 
+    @property
+    def jitter(self) -> float:
+        """Latency jitter (population standard deviation), window-aware:
+        computed over the measurement window once one has recorded
+        observations, else over the lifetime population."""
+        if self.windowed_count:
+            count, total, total_sq = (
+                self.windowed_count, self.windowed_total,
+                self.windowed_total_sq,
+            )
+        elif self.count:
+            count, total, total_sq = self.count, self.total, self.total_sq
+        else:
+            return math.nan
+        mean = total / count
+        # Clamp: catastrophic cancellation can leave a tiny negative.
+        return math.sqrt(max(0.0, total_sq / count - mean * mean))
+
     def reset_window(self) -> None:
         self.windowed_count = 0
         self.windowed_total = 0
+        self.windowed_total_sq = 0
         self.windowed_min = None
         self.windowed_max = None
+        self._windowed_samples = []
+        self._windowed_stride = 1
+        self._windowed_next = 1
 
     def percentile(self, p: float) -> float:
-        """Approximate percentile ``p`` in [0, 100] from retained samples."""
+        """Approximate percentile ``p`` in [0, 100], window-aware.
+
+        Reported from the windowed reservoir once the measurement
+        window has recorded samples (warmup excluded), else from the
+        lifetime reservoir.  The old behavior -- always reporting from
+        the lifetime reservoir, which fills during warmup even though
+        the windowed count/total/min/max respect :attr:`active` --
+        silently polluted every reported p50/p99 with warmup latencies.
+        """
+        if self.windowed_count:
+            return self.windowed_percentile(p)
+        return self.lifetime_percentile(p)
+
+    def lifetime_percentile(self, p: float) -> float:
+        """Percentile over every recorded observation, warmup included."""
         return percentile_of_sorted(sorted(self._samples), p)
+
+    def windowed_percentile(self, p: float) -> float:
+        """Percentile over the measurement window only (NaN before any
+        windowed observation)."""
+        return percentile_of_sorted(sorted(self._windowed_samples), p)
 
 
 @dataclass

@@ -51,3 +51,46 @@ def test_figure_result_lookup():
     assert figure.get("1us") is line
     with pytest.raises(KeyError):
         figure.get("2us")
+
+
+def _slo_fixture(rule_p99: float, under_p99: float) -> FigureResult:
+    figure = FigureResult("figA_slo", "t", "load", "us")
+    for policy, p99 in (("rule-sized", rule_p99), ("under-rule", under_p99)):
+        for quantile, y in (("p50", 1.0), ("p99", p99), ("p999", 2 * p99)):
+            line = figure.new_series(f"{policy}/1core/{quantile}")
+            line.add(0.1, y / 2)
+            line.add(0.3, y)
+    return figure
+
+
+def test_queue_rule_report_holds_when_rule_sized_wins():
+    from repro.harness.figures import queue_rule_report
+
+    report = queue_rule_report(_slo_fixture(rule_p99=30.0, under_p99=70.0))
+    assert report["holds"] is True
+    entry = report["per_cores"][1]
+    assert entry["offered_per_core_us"] == 0.3
+    assert entry["rule-sized"] == 30.0
+    assert entry["under-rule"] == 70.0
+
+
+def test_queue_rule_report_flags_violation():
+    from repro.harness.figures import queue_rule_report
+
+    report = queue_rule_report(_slo_fixture(rule_p99=80.0, under_p99=70.0))
+    assert report["holds"] is False
+    assert report["per_cores"][1]["holds"] is False
+
+
+def test_queue_rule_report_tolerates_ties():
+    from repro.harness.figures import queue_rule_report
+
+    # A light-load tie (the ring never fills) still counts as holding.
+    report = queue_rule_report(_slo_fixture(rule_p99=10.0, under_p99=10.0))
+    assert report["holds"] is True
+
+
+def test_figA_slo_registered():
+    from repro.harness.figures import ALL_FIGURES, figA_slo
+
+    assert ALL_FIGURES["figA_slo"] is figA_slo

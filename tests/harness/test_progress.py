@@ -1,0 +1,96 @@
+"""Tests for the live sweep-progress reporter.
+
+The reporter only observes completions, so these tests drive it with a
+fake clock and an in-memory stream -- no sleeping, no terminals.
+"""
+
+import io
+
+import pytest
+
+from repro.harness.progress import SweepProgress
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_progress():
+    clock = FakeClock()
+    stream = io.StringIO()
+    progress = SweepProgress(stream=stream, min_interval_s=0.0, clock=clock)
+    return progress, clock, stream
+
+
+def test_serial_eta_uses_observed_concurrency():
+    # Regression: eta_s() divided the EWMA by the *configured* worker
+    # count even on the serial in-process path (which reports active=0
+    # on every completion), so ``--jobs 8`` made a serial sweep's ETA
+    # eight times too optimistic.
+    progress, clock, _ = make_progress()
+    progress.begin("fig", total=10, cache_hits=0, workers=8)
+    progress.job_done(2.0, active=0)  # serial path: nothing else active
+    # 9 jobs remain at ~2 s each with concurrency 1, not 8.
+    assert progress.eta_s() == pytest.approx(2.0 * 9)
+
+
+def test_pool_eta_divides_by_active_workers():
+    progress, clock, _ = make_progress()
+    progress.begin("fig", total=9, cache_hits=0, workers=4)
+    progress.job_done(2.0, active=3)  # pool path: 3 still busy
+    # Observed concurrency is active+1 = 4 -> ETA spreads the work.
+    assert progress.eta_s() == pytest.approx(2.0 * 8 / 4)
+
+
+def test_eta_never_exceeds_configured_workers():
+    progress, clock, _ = make_progress()
+    progress.begin("fig", total=4, cache_hits=0, workers=2)
+    # A stale heartbeat claiming more concurrency than configured must
+    # not make the ETA optimistic beyond the pool size.
+    progress.job_done(1.0, active=7)
+    assert progress.eta_s() == pytest.approx(1.0 * 3 / 2)
+
+
+def test_eta_none_before_first_sample_and_after_done():
+    progress, clock, _ = make_progress()
+    progress.begin("fig", total=1, cache_hits=0, workers=1)
+    assert progress.eta_s() is None
+    progress.job_done(1.0, active=0)
+    assert progress.eta_s() is None  # nothing remaining
+
+
+def test_ewma_smooths_wall_samples():
+    progress, clock, _ = make_progress()
+    progress.begin("fig", total=10, cache_hits=0, workers=1)
+    progress.job_done(1.0, active=0)
+    progress.job_done(2.0, active=0)
+    # EWMA after 1.0 then 2.0: 1.0 + 0.2 * (2.0 - 1.0) = 1.2.
+    assert progress.eta_s() == pytest.approx(1.2 * 8)
+
+
+def test_observed_concurrency_resets_per_sweep():
+    progress, clock, stream = make_progress()
+    progress.begin("a", total=4, cache_hits=0, workers=4)
+    progress.job_done(1.0, active=3)
+    progress.finish({})
+    # The next sweep runs serially; yesterday's concurrency must not
+    # leak into its ETA.
+    progress.begin("b", total=4, cache_hits=0, workers=4)
+    progress.job_done(1.0, active=0)
+    assert progress.eta_s() == pytest.approx(1.0 * 3)
+
+
+def test_renders_progress_lines_to_stream():
+    progress, clock, stream = make_progress()
+    progress.begin("fig3", total=2, cache_hits=5, workers=1)
+    progress.job_done(1.0, active=0)
+    progress.job_done(1.0, active=0)
+    progress.finish({"simulated": 2, "cache_hits": 5, "wall_s": 2.0})
+    text = stream.getvalue()
+    assert "[fig3]" in text
+    assert "5 cache hits" in text
+    assert "done: 2 simulated, 5 cached" in text

@@ -92,3 +92,29 @@ def test_invalid_fetch_count():
 def test_tiny_ring_rejected():
     with pytest.raises(ProtocolError):
         QueuePair(core_id=0, entries=1)
+
+
+def test_reads_outstanding_tracks_sq_cq_credits():
+    # Regression: with more threads than ring entries the host could
+    # submit more reads than the completion ring holds, overflowing it
+    # when the device posted them all.  ``reads_outstanding`` is the
+    # credit count the API layer spins on.
+    qp = QueuePair(core_id=0, entries=4)
+    for i in range(3):
+        qp.enqueue(desc(i))
+    assert qp.reads_outstanding == 3
+    qp.device_fetch(8)  # fetching does not return credits ...
+    assert qp.reads_outstanding == 3
+    qp.device_post_completion(comp(0))
+    assert qp.reads_outstanding == 3  # ... nor does posting ...
+    qp.pop_completion()
+    assert qp.reads_outstanding == 2  # ... only consuming does.
+
+
+def test_writes_do_not_consume_completion_credits():
+    qp = QueuePair(core_id=0, entries=4)
+    qp.enqueue(Descriptor(core_id=0, thread_id=0, device_addr=0,
+                          response_addr=0, is_write=True))
+    assert qp.reads_outstanding == 0
+    qp.enqueue(desc(1))
+    assert qp.reads_outstanding == 1

@@ -154,6 +154,88 @@ def test_probe_set_window_toggle():
     assert first.windowed == 0
 
 
+def test_latency_stat_windowed_percentile_excludes_warmup():
+    # Regression: percentile() used the lifetime reservoir even inside
+    # a measurement window, so warmup outliers polluted every reported
+    # tail (p99 of a 40us-warmup run could be a warmup-era sample).
+    probes = ProbeSet()
+    stat = probes.latency("lat")
+    for _ in range(100):
+        stat.record(1_000_000)  # warmup: pathological queueing
+    probes.set_window_active(True)
+    for value in range(1, 101):
+        stat.record(value)
+    probes.set_window_active(False)
+    # Window-aware default: all quantiles come from windowed samples.
+    assert stat.percentile(50) == pytest.approx(50.5)
+    assert stat.percentile(99) <= 100
+    assert stat.windowed_percentile(99) <= 100
+    # The lifetime view still sees the warmup mass.
+    assert stat.lifetime_percentile(99) == 1_000_000
+    assert stat.maximum == 1_000_000
+    assert stat.windowed_max == 100
+
+
+def test_latency_stat_percentile_falls_back_to_lifetime():
+    # With no window ever active, percentile() behaves as before.
+    stat = LatencyStat("lat")
+    for value in (10, 20, 30, 40):
+        stat.record(value)
+    assert stat.windowed_count == 0
+    assert stat.percentile(50) == pytest.approx(25)
+    import math
+
+    assert math.isnan(stat.windowed_percentile(50))
+
+
+def test_latency_stat_windowed_reservoir_subsamples():
+    probes = ProbeSet()
+    stat = probes.latency("lat")
+    probes.set_window_active(True)
+    n = LatencyStat.MAX_SAMPLES * 2 + 100
+    for value in range(n):
+        stat.record(value)
+    probes.set_window_active(False)
+    assert len(stat._windowed_samples) <= LatencyStat.MAX_SAMPLES + 1
+    assert stat.percentile(50) == pytest.approx(n / 2, rel=0.02)
+
+
+def test_latency_stat_window_reset_clears_reservoir():
+    probes = ProbeSet()
+    stat = probes.latency("lat")
+    probes.set_window_active(True)
+    stat.record(7)
+    probes.set_window_active(False)
+    assert stat.windowed_count == 1
+    probes.reset_windows()
+    assert stat.windowed_count == 0
+    assert stat._windowed_samples == []
+    # A fresh window starts sampling from its first observation.
+    probes.set_window_active(True)
+    stat.record(42)
+    probes.set_window_active(False)
+    assert stat.percentile(50) == 42
+
+
+def test_latency_stat_jitter_is_windowed_stddev():
+    import statistics
+
+    probes = ProbeSet()
+    stat = probes.latency("lat")
+    stat.record(10_000)  # warmup noise must not enter jitter
+    probes.set_window_active(True)
+    values = [10, 20, 30, 40, 50]
+    for value in values:
+        stat.record(value)
+    probes.set_window_active(False)
+    assert stat.jitter == pytest.approx(statistics.pstdev(values))
+    # Without a window, jitter falls back to the lifetime population.
+    lifetime = LatencyStat("lat2")
+    for value in values:
+        lifetime.record(value)
+    assert lifetime.jitter == pytest.approx(statistics.pstdev(values))
+
+
 def test_percentile_of_sorted_reference():
     import math
 

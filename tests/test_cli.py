@@ -64,6 +64,70 @@ def test_app_command():
     assert "normalized" in text and "ns / operation" in text
 
 
+def test_serve_command_reports_slo_metrics():
+    code, text = run_cli(
+        "serve", "--rate", "0.2", "--workers", "8", "--ring", "32",
+        "--warmup-us", "10", "--measure-us", "60",
+    )
+    assert code == 0
+    assert "sojourn p50" in text
+    assert "sojourn p999" in text
+    assert "queue wait p99" in text
+    assert "poisson arrivals" in text
+
+
+def test_serve_command_mmpp_and_zipf():
+    code, text = run_cli(
+        "serve", "--rate", "0.2", "--arrivals", "mmpp", "--theta", "0.9",
+        "--warmup-us", "10", "--measure-us", "60",
+    )
+    assert code == 0
+    assert "mmpp arrivals" in text
+    assert "zipf theta 0.9" in text
+
+
+def test_serve_runs_diff_identical_runs_match():
+    # Acceptance: open-loop service runs are deterministic end to end,
+    # ledger included -- two identical serves diff clean.
+    args = (
+        "serve", "--rate", "0.2", "--workers", "8",
+        "--warmup-us", "10", "--measure-us", "60",
+    )
+    run_cli(*args)
+    run_cli(*args)
+    code, text = run_cli("runs", "diff", "0", "1")
+    assert code == 0
+    assert "runs match: no deviations" in text
+
+
+def test_serve_run_records_slo_results():
+    from repro.obs.runlog import RunLedger
+
+    run_cli(
+        "serve", "--rate", "0.2",
+        "--warmup-us", "10", "--measure-us", "60",
+    )
+    entry = RunLedger().resolve("-1")
+    assert entry["command"] == "serve"
+    assert entry["status"] == 0
+    assert len(entry["config_digest"]) == 64
+    results = entry["results"]
+    assert results["completions"] > 0
+    assert results["p50_ns"] <= results["p99_ns"] <= results["p999_ns"]
+
+
+def test_serve_rejects_bad_ring():
+    import pytest as _pytest
+
+    from repro.errors import ConfigError
+
+    with _pytest.raises(ConfigError, match="power of 2"):
+        run_cli(
+            "serve", "--ring", "12",
+            "--warmup-us", "5", "--measure-us", "10",
+        )
+
+
 def test_figure_command_with_csv(tmp_path):
     csv_path = tmp_path / "fig.csv"
     code, text = run_cli("figure", "fig3", "--scale", "quick",
