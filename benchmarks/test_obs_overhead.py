@@ -9,10 +9,11 @@ vs metrics / invariants / both enabled and writes the outcome to
 
 The regression gate is machine-independent: absolute wall times are
 incomparable across machines, so the "disabled path is still fast"
-check re-runs the kernel-vs-frozen-reference speedup measurement (the
-PR 2 contract tracked in ``benchmarks/kernel_baseline.json``) with the
-observability modules imported, and requires it to stay within 2% of
-that baseline's enforced floor.  Helpers are duplicated from
+check re-runs the kernel-vs-frozen-reference event-loop speedup
+measurement (the ``event_loop`` entry of
+``benchmarks/kernel_baseline.json``) with the observability modules
+imported, and requires it to stay within 2% of that baseline's
+enforced floor.  Helpers are duplicated from
 ``test_simulator_throughput.py`` rather than imported: ``benchmarks/``
 is not a package, so cross-module imports there depend on pytest's
 sys.path mode.
@@ -85,16 +86,28 @@ def _event_loop(simulator_cls, store_cls, items=10_000):
 
 
 def _paired_speedup(fn_ref, fn_new, repeats=15):
-    """Median of per-pair wall ratios (frequency-drift robust)."""
+    """Median of per-pair wall ratios (frequency-drift robust).  GC is
+    disabled around the timed region, mirroring the kernel-bench
+    harness (``--benchmark-disable-gc`` covers only fixture-timed
+    tests)."""
+    import gc
+
     ratios = []
-    for _ in range(repeats):
-        started = time.perf_counter()
-        fn_ref()
-        ref_s = time.perf_counter() - started
-        started = time.perf_counter()
-        fn_new()
-        new_s = time.perf_counter() - started
-        ratios.append(ref_s / new_s)
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn_ref()
+            ref_s = time.perf_counter() - started
+            started = time.perf_counter()
+            fn_new()
+            new_s = time.perf_counter() - started
+            ratios.append(ref_s / new_s)
+            gc.collect()
+    finally:
+        if was_enabled:
+            gc.enable()
     return statistics.median(ratios)
 
 
@@ -163,7 +176,8 @@ def test_disabled_path_keeps_kernel_speedup_within_2pct():
     )
     if os.environ.get("REPRO_KERNEL_BENCH_ENFORCE"):
         baseline = json.loads(BASELINE_PATH.read_text())
-        floor = 0.98 * max(2.0, 0.7 * baseline["speedup_vs_reference"])
+        loop_base = baseline["workloads"]["event_loop"]["speedup_vs_reference"]
+        floor = 0.98 * max(1.5, 0.7 * loop_base)
         assert speedup >= floor, (
             f"disabled-path regression: {speedup:.2f}x vs reference, "
             f"2%-tolerance floor {floor:.2f}x"

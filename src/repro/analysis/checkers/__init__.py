@@ -45,6 +45,7 @@ def default_checkers() -> List[Checker]:
         AcquireReleaseChecker,
         BlockingCallChecker,
         NegativeDelayChecker,
+        PrivateQueueChecker,
     )
     from repro.analysis.checkers.observability import (
         ProbeNameChecker,
@@ -62,6 +63,7 @@ def default_checkers() -> List[Checker]:
         AcquireReleaseChecker(),
         NegativeDelayChecker(),
         BlockingCallChecker(),
+        PrivateQueueChecker(),
         MagicUnitLiteralChecker(),
         UnitSuffixChecker(),
         TraceGuardChecker(),

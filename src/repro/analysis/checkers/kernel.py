@@ -25,6 +25,7 @@ __all__ = [
     "AcquireReleaseChecker",
     "NegativeDelayChecker",
     "BlockingCallChecker",
+    "PrivateQueueChecker",
 ]
 
 
@@ -146,6 +147,67 @@ class NegativeDelayChecker(Checker):
                 "schedule into the past; clamp with max(0, ...) or "
                 "pragma with the proof it cannot go negative",
             )
+
+
+#: The sanctioned home of the timed queue: the kernel package itself
+#: (the calendar-queue scheduler and the frozen ``_reference`` kernel).
+_QUEUE_EXEMPT = "repro.sim"
+
+
+class PrivateQueueChecker(Checker):
+    """SIM210: a private priority queue outside ``repro.sim``.
+
+    The kernel's calendar-queue scheduler is the only sanctioned timed
+    queue.  A module-private heap keyed by (deadline, seq) duplicates
+    the scheduler's ordering work, re-introduces the per-event
+    comparison costs the calendar removed, and -- worse -- creates a
+    second ordering authority that can silently disagree with the
+    kernel's (tick, schedule-order) contract.  Schedule one timeout per
+    item and close over the payload instead
+    (``repro.device.delay.DelayModule.submit`` is the pattern).
+    """
+
+    codes = ("SIM210",)
+
+    def check(self, module) -> Iterable:
+        name = module.module
+        if name == _QUEUE_EXEMPT or name.startswith(_QUEUE_EXEMPT + "."):
+            return
+        aliases = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "heapq" or alias.name.startswith(
+                        "heapq."
+                    ):
+                        yield module.finding(
+                            "SIM210",
+                            node,
+                            "heapq import outside repro.sim; the kernel "
+                            "scheduler is the only sanctioned timed "
+                            "queue -- schedule per-item timeouts and "
+                            "close over the payload",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "heapq":
+                    yield module.finding(
+                        "SIM210",
+                        node,
+                        "heapq import outside repro.sim; the kernel "
+                        "scheduler is the only sanctioned timed queue "
+                        "-- schedule per-item timeouts and close over "
+                        "the payload",
+                    )
+            elif isinstance(node, ast.Call):
+                if canonical(node.func, aliases) == "queue.PriorityQueue":
+                    yield module.finding(
+                        "SIM210",
+                        node,
+                        "queue.PriorityQueue outside repro.sim; the "
+                        "kernel scheduler is the only sanctioned timed "
+                        "queue -- schedule per-item timeouts and close "
+                        "over the payload",
+                    )
 
 
 #: Host-blocking entry points that must never run inside a coroutine.

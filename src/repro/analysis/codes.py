@@ -94,6 +94,14 @@ _ALL = [
         "generator blocks the host thread mid-tick instead of yielding "
         "simulated time",
     ),
+    CodeInfo(
+        "SIM210",
+        "private priority queue",
+        "heapq / queue.PriorityQueue outside repro.sim duplicates the "
+        "kernel's calendar-queue scheduler (and its ordering "
+        "guarantees); schedule per-item timeouts and close over the "
+        "payload instead",
+    ),
     # -- SIM3xx: units / config ------------------------------------------
     CodeInfo(
         "SIM301",

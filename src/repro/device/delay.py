@@ -14,7 +14,6 @@ works to avoid.
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Callable
 
 from repro.errors import ConfigError
@@ -42,8 +41,7 @@ class DelayModule:
         self.released = 0
         self.deadline_misses = 0
         self.worst_miss_ticks = 0
-        self._heap: list[tuple[int, int, Any, int]] = []
-        self._seq = 0
+        self._pending = 0
         #: Optional observability hooks (None keeps hot paths untouched).
         self.tracer = None
         self._trace_pid = 0
@@ -70,6 +68,12 @@ class DelayModule:
         ``arrival_time`` is the timestamp taken when the request
         reached the device; data may have become available later
         (deadline miss), in which case the response leaves now.
+
+        Each release closes over its own payload rather than going
+        through a module-level priority queue: the simulation kernel
+        already fires timeouts in (tick, schedule) order, so a second
+        ordered structure here would duplicate the scheduler's work --
+        and same-tick responses still leave in submit order.
         """
         deadline = arrival_time + self.delay_ticks
         if deadline < self.sim.now:
@@ -78,30 +82,29 @@ class DelayModule:
                 self.worst_miss_ticks, self.sim.now - deadline
             )
             deadline = self.sim.now
-        self._seq += 1
-        heapq.heappush(self._heap, (deadline, self._seq, response, arrival_time))
+        self._pending += 1
         # simlint: disable-next-line=SIM202 -- deadline is clamped to
         # sim.now by the miss branch above, so the delta is never negative
         release = self.sim.timeout(deadline - self.sim.now)
-        release.add_callback(self._release)
 
-    def _release(self, _event) -> None:
-        deadline, _seq, response, arrival = heapq.heappop(self._heap)
-        assert deadline <= self.sim.now
-        self.released += 1
-        tracer = self.tracer
-        if tracer is not None:
-            tracer.complete(
-                "device",
-                self._trace_pid,
-                self._trace_tid,
-                f"{self.name}-hold",
-                arrival,
-                self.sim.now,
-                args={"missed": self.sim.now > arrival + self.delay_ticks},
-            )
-        self.send(response)
+        def _release(_event, response=response, arrival=arrival_time) -> None:
+            self._pending -= 1
+            self.released += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.complete(
+                    "device",
+                    self._trace_pid,
+                    self._trace_tid,
+                    f"{self.name}-hold",
+                    arrival,
+                    self.sim.now,
+                    args={"missed": self.sim.now > arrival + self.delay_ticks},
+                )
+            self.send(response)
+
+        release.add_callback(_release)
 
     @property
     def queued(self) -> int:
-        return len(self._heap)
+        return self._pending

@@ -83,7 +83,10 @@ __all__ = [
 #: invalidated at once.  "2": payloads grew per-job ``kernel_stats``.
 #: "3": registry latency snapshots became window-aware (p50/p99 now
 #: exclude warmup, p999/jitter added) and the service job kind landed.
-MODEL_VERSION = "3"
+#: "4": calendar-queue scheduler -- simulation outputs are bit-for-bit
+#: unchanged, but the per-job ``kernel_stats`` payload gained the
+#: scheduler counter schema (spills, migrations, batch histogram).
+MODEL_VERSION = "4"
 
 
 @dataclass(frozen=True)

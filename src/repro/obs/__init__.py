@@ -22,6 +22,7 @@ from repro.obs.runlog import LEDGER_FORMAT, RunLedger
 from repro.obs.tracer import (
     PID_CORES,
     PID_DEVICE,
+    PID_KERNEL,
     PID_PCIE,
     PID_SERVICE,
     PID_UNCORE,
@@ -39,6 +40,7 @@ __all__ = [
     "PID_UNCORE",
     "PID_PCIE",
     "PID_DEVICE",
+    "PID_KERNEL",
     "PID_SERVICE",
     "InvariantMonitor",
     "InvariantViolation",

@@ -39,6 +39,7 @@ __all__ = [
     "PID_PCIE",
     "PID_DEVICE",
     "PID_SERVICE",
+    "PID_KERNEL",
     "TraceConfig",
     "Tracer",
 ]
@@ -55,8 +56,11 @@ __all__ = [
 #: * ``sched``  -- uthread slices and completion polls (section IV-B)
 #: * ``service`` -- open-loop request lifecycles (arrival to response)
 #:   and host-queue depth counters (the SLO layer)
+#: * ``kernel`` -- simulation-kernel scheduler gauges (calendar bucket
+#:   occupancy, overflow backlog, due-batch size), sampled per interval
 TRACKS: FrozenSet[str] = frozenset(
-    {"rob", "lfb", "queues", "pcie", "device", "swq", "sched", "service"}
+    {"rob", "lfb", "queues", "pcie", "device", "swq", "sched", "service",
+     "kernel"}
 )
 
 #: Process-ID groups of the rendered timeline (named via metadata
@@ -66,6 +70,7 @@ PID_UNCORE = 2
 PID_PCIE = 3
 PID_DEVICE = 4
 PID_SERVICE = 5
+PID_KERNEL = 6
 
 #: Ticks are integer picoseconds; trace-event ``ts``/``dur`` are
 #: microseconds (floats allowed, so no precision is lost for display).

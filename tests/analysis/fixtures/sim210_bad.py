@@ -1,0 +1,21 @@
+"""Bad: a module-private priority queue shadowing the kernel's timed
+tier -- a second ordering authority next to the scheduler."""
+
+import heapq
+
+
+class ReleaseQueue:
+    def __init__(self, sim, send):
+        self.sim = sim
+        self.send = send
+        self._heap = []
+        self._seq = 0
+
+    def submit(self, deadline, payload):
+        self._seq += 1
+        heapq.heappush(self._heap, (deadline, self._seq, payload))
+
+    def release_due(self):
+        while self._heap and self._heap[0][0] <= self.sim.now:
+            _deadline, _seq, payload = heapq.heappop(self._heap)
+            self.send(payload)

@@ -1,0 +1,16 @@
+"""Good: the kernel's scheduler is the only timed queue -- each item
+gets its own timeout and the payload rides in a closure."""
+
+
+class ReleaseQueue:
+    def __init__(self, sim, send):
+        self.sim = sim
+        self.send = send
+
+    def submit(self, delay, payload):
+        release = self.sim.timeout(delay)
+
+        def _release(_event, payload=payload):
+            self.send(payload)
+
+        release.add_callback(_release)
