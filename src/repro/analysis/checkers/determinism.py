@@ -34,10 +34,12 @@ _WALL_CLOCK = frozenset(
 )
 
 #: Modules whose *job* is wall-clock measurement (CLI wall-time
-#: reporting, sweep worker timeouts/ETA).  Everything else -- including
-#: the run ledger and progress renderer -- must carry an explicit
-#: pragma with a justification.
-_WALL_CLOCK_ALLOWED = frozenset({"repro.cli", "repro.harness.sweep"})
+#: reporting, sweep worker timeouts/ETA, work-queue lease expiry).
+#: Everything else -- including the run ledger and progress renderer --
+#: must carry an explicit pragma with a justification.
+_WALL_CLOCK_ALLOWED = frozenset(
+    {"repro.cli", "repro.harness.sweep", "repro.harness.coordinator"}
+)
 
 #: numpy.random entry points that take an explicit seed and are fine
 #: when one is passed.

@@ -6,6 +6,9 @@
     python -m repro run --mechanism software-queue --threads 24 --cores 4
     python -m repro figure fig3 --scale quick --jobs 4 --check-invariants
     python -m repro sweep fig3 --scale full --jobs 8 --progress
+    python -m repro sweep fig3 --queue .repro_queue --jobs 4   # durable
+    python -m repro sweep fig3 --resume                        # after ^C
+    python -m repro sweep-worker --queue .repro_queue --watch  # extra host
     python -m repro trace --figure fig7 --out trace.json --tracks swq,pcie
     python -m repro app memcached --mechanism prefetch --threads 8
     python -m repro runs list
@@ -35,6 +38,7 @@ from repro.config import (
     UncoreConfig,
 )
 from repro.config import stable_digest
+from repro.errors import SimulationError
 from repro.harness.applications import APPLICATIONS, normalized_application
 from repro.harness.experiment import MeasureWindow, normalized_microbench
 from repro.harness.figures import ALL_FIGURES
@@ -113,6 +117,51 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("name", choices=sorted(ALL_FIGURES))
     sweep.add_argument("--scale", choices=("quick", "full"), default="quick")
     _add_engine_flags(sweep)
+
+    worker = commands.add_parser(
+        "sweep-worker",
+        help="drain sweep work queues as a standalone worker: point any "
+             "number of these (on any host sharing the filesystem) at "
+             "the --queue directory of an interrupted or running sweep",
+    )
+    worker.add_argument(
+        "--queue", metavar="DIR", required=True,
+        help="work-queue root to drain (a sweep's --queue directory)",
+    )
+    worker.add_argument(
+        "--worker", metavar="NAME", default=None,
+        help="worker id stamped into leases and result records "
+             "(default: hostname-pid)",
+    )
+    worker.add_argument(
+        "--watch", action="store_true",
+        help="keep polling for new queues and jobs until interrupted "
+             "(default: exit once every discovered queue is resolved)",
+    )
+    worker.add_argument(
+        "--poll-s", type=float, default=0.5, metavar="S",
+        help="idle polling interval in seconds (default 0.5)",
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="stop after claiming N jobs (default: unlimited)",
+    )
+    worker.add_argument(
+        "--lease-s", type=float, default=900.0, metavar="S",
+        help="job lease duration; a crashed worker's claims expire "
+             "after this long (default 900)",
+    )
+    worker.add_argument(
+        "--no-cache", action="store_true",
+        default=bool(os.environ.get("REPRO_NO_CACHE")),
+        help="disable the shared on-disk result cache",
+    )
+    worker.add_argument(
+        "--cache-dir", metavar="DIR",
+        default=os.environ.get("REPRO_CACHE_DIR", ".repro_cache"),
+        help="result-cache directory shared with the sweep "
+             "(default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -266,6 +315,32 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="render live per-job progress (done/total, cache hits, "
              "ETA) on stderr while the sweep runs",
     )
+    parser.add_argument(
+        "--timeout-s", type=float, metavar="S",
+        default=float(os.environ.get("REPRO_SWEEP_TIMEOUT_S", "900") or "900"),
+        help="per-job deadline, measured from the observed job start "
+             "(default: $REPRO_SWEEP_TIMEOUT_S or 900)",
+    )
+    parser.add_argument(
+        "--retries", type=int, metavar="N",
+        default=int(os.environ.get("REPRO_SWEEP_RETRIES", "1") or "1"),
+        help="worker-side attempts per job before the in-process "
+             "fallback (default: $REPRO_SWEEP_RETRIES or 1)",
+    )
+    parser.add_argument(
+        "--queue", metavar="DIR",
+        default=os.environ.get("REPRO_SWEEP_QUEUE") or None,
+        help="persistent work-queue root: per-job state survives "
+             "interrupts and crashes, and standalone `repro "
+             "sweep-worker` processes can share the work "
+             "(default: $REPRO_SWEEP_QUEUE)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="re-enter an interrupted sweep's work queue and execute "
+             "only its unresolved jobs (implies --queue, default "
+             ".repro_queue)",
+    )
 
 
 def _engine_from_args(args: argparse.Namespace) -> SweepEngine:
@@ -274,12 +349,16 @@ def _engine_from_args(args: argparse.Namespace) -> SweepEngine:
         from repro.harness.progress import SweepProgress
 
         progress = SweepProgress()
+    queue_dir = args.queue or (".repro_queue" if args.resume else None)
     return SweepEngine(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         check_invariants=args.check_invariants,
         progress=progress,
+        queue_dir=queue_dir,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
     )
 
 
@@ -434,9 +513,68 @@ def _print_queue_rule(figure, out, record) -> None:
               f"under-rule {entry['under-rule']:.1f} us", file=out)
 
 
+def _note_interrupt(args: argparse.Namespace, engine: SweepEngine, out,
+                    record) -> int:
+    """A sweep took SIGINT: report what survived and how to resume.
+
+    Returns 130 (the conventional fatal-SIGINT status), which ``main``
+    records in the ledger like any other outcome.
+    """
+    stats = dict(engine.last_stats)
+    if record is not None:
+        record["sweep"] = stats
+    print("interrupted", file=out)
+    queue_info = stats.get("queue") or {}
+    if queue_info.get("dir"):
+        counts = queue_info.get("counts") or {}
+        unresolved = counts.get("pending", 0) + counts.get("leased", 0)
+        print(f"queue         : {queue_info['dir']} "
+              f"({counts.get('done', 0)} done, {unresolved} unresolved, "
+              f"{counts.get('failed', 0)} failed)", file=out)
+        resume = f"repro {args.command} {args.name} --scale {args.scale}"
+        if args.queue:
+            resume += f" --queue {args.queue}"
+        else:
+            resume += " --resume"
+        if args.jobs != 1:
+            resume += f" --jobs {args.jobs}"
+        print(f"resume with   : {resume}", file=out)
+    else:
+        print("no --queue given: completed jobs survive only in the "
+              "result cache; rerun with --queue DIR (or --resume) for "
+              "a durable, shareable work queue", file=out)
+    return 130
+
+
+def _note_failed_jobs(args: argparse.Namespace, engine: SweepEngine, out,
+                      record) -> int:
+    """Deterministically failing jobs: structured per-job report."""
+    stats = dict(engine.last_stats)
+    if record is not None:
+        record["sweep"] = stats
+    failures = stats.get("failures") or {}
+    print(f"FAILED        : {stats.get('failed', len(failures))} job(s) "
+          f"failed after retries and the in-process fallback; "
+          f"completed results were preserved", file=out)
+    for key, error in sorted(failures.items()):
+        print(f"  {key[:12]}  {error}", file=out)
+    queue_info = stats.get("queue") or {}
+    if queue_info.get("dir"):
+        print(f"queue         : {queue_info['dir']} (failure records in "
+              f"failed/)", file=out)
+    return 1
+
+
 def _command_figure(args: argparse.Namespace, out, record=None) -> int:
     engine = _engine_from_args(args)
-    figure = ALL_FIGURES[args.name](args.scale, engine=engine)
+    try:
+        figure = ALL_FIGURES[args.name](args.scale, engine=engine)
+    except KeyboardInterrupt:
+        return _note_interrupt(args, engine, out, record)
+    except SimulationError:
+        if not engine.last_stats.get("failed"):
+            raise
+        return _note_failed_jobs(args, engine, out, record)
     _record_figure_result(record, args, figure, engine)
     print(render_table(figure), file=out)
     if args.name == "figA_slo":
@@ -470,7 +608,14 @@ def _command_figure(args: argparse.Namespace, out, record=None) -> int:
 def _command_sweep(args: argparse.Namespace, out, record=None) -> int:
     engine = _engine_from_args(args)
     started = time.perf_counter()
-    figure = ALL_FIGURES[args.name](args.scale, engine=engine)
+    try:
+        figure = ALL_FIGURES[args.name](args.scale, engine=engine)
+    except KeyboardInterrupt:
+        return _note_interrupt(args, engine, out, record)
+    except SimulationError:
+        if not engine.last_stats.get("failed"):
+            raise
+        return _note_failed_jobs(args, engine, out, record)
     wall = time.perf_counter() - started
     _record_figure_result(record, args, figure, engine)
     print(render_table(figure), file=out)
@@ -485,10 +630,57 @@ def _command_sweep(args: argparse.Namespace, out, record=None) -> int:
     print(f"simulated     : {stats['simulated']} jobs "
           f"({stats['retries']} retries, {stats['fallbacks']} fallbacks)",
           file=out)
+    queue_info = stats.get("queue") or {}
+    if queue_info.get("dir"):
+        counts = queue_info.get("counts") or {}
+        print(f"queue         : {queue_info['dir']} "
+              f"({stats.get('queue_served', 0)} jobs served from queue "
+              f"records, {counts.get('done', 0)} done, "
+              f"{counts.get('failed', 0)} failed)", file=out)
+        print(f"manifest      : spec {str(queue_info.get('spec_digest'))[:12]} "
+              f"-- inspect with `repro runs show -1`", file=out)
     if per_job.count:
         print(f"per-job wall  : {per_job.mean / units.NS_PER_S:.3f} s mean, "
               f"{(per_job.maximum or 0) / units.NS_PER_S:.3f} s max", file=out)
     print(f"total wall    : {wall:.2f} s", file=out)
+    if stats.get("failed"):
+        return _note_failed_jobs(args, engine, out, record)
+    return 0
+
+
+def _command_sweep_worker(args: argparse.Namespace, out, record=None) -> int:
+    from repro.harness import coordinator
+    from repro.harness.sweep import ResultCache
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def on_queue(queue) -> None:
+        manifest = queue.manifest()
+        print(f"queue         : {queue.root} ({manifest.get('name')}, "
+              f"spec {str(manifest.get('spec_digest'))[:12]})", file=out)
+
+    try:
+        totals = coordinator.drain_queue_tree(
+            args.queue,
+            args.worker,
+            cache=cache,
+            lease_s=args.lease_s,
+            max_jobs=args.max_jobs,
+            poll_s=args.poll_s,
+            watch=args.watch,
+            on_queue=on_queue,
+        )
+    except KeyboardInterrupt:
+        print("interrupted: in-flight leases were released (or will "
+              "expire); resolved jobs stay in the queue", file=out)
+        return 130
+    if record is not None:
+        record["worker"] = {"queue_root": str(args.queue), **totals}
+    print(f"queues        : {totals['queues']} drained under {args.queue}",
+          file=out)
+    print(f"claims        : {totals['claims']} ({totals['done']} done, "
+          f"{totals['failed']} failed, {totals['cache_hits']} cache hits)",
+          file=out)
     return 0
 
 
@@ -685,9 +877,24 @@ def _command_runs(args: argparse.Namespace, out) -> int:
                   f"{entry.get('wall_s', 0.0):7.2f}s  repro {argv}", file=out)
         return 0
     if args.runs_command == "show":
+        from repro.errors import ConfigError
+
         entry = ledger.resolve(args.ref)
         json.dump(entry, out, indent=2, sort_keys=True)
         out.write("\n")
+        root = ((entry.get("sweep") or {}).get("queue") or {}).get("dir")
+        if root:
+            from repro.harness.coordinator import WorkQueue
+
+            try:
+                manifest = WorkQueue.attach(root).manifest()
+            except (ConfigError, OSError):
+                print(f"experiment manifest at {root} is gone or "
+                      f"unreadable", file=out)
+            else:
+                print(f"experiment manifest ({root}):", file=out)
+                json.dump(manifest, out, indent=2, sort_keys=True)
+                out.write("\n")
         return 0
     base = ledger.resolve(args.a)
     current = ledger.resolve(args.b)
@@ -769,7 +976,8 @@ def _command_list(out) -> int:
 
 #: Commands that append a provenance record to the run ledger.
 _RECORDED_COMMANDS = frozenset(
-    {"run", "serve", "trace", "figure", "sweep", "app", "profile"}
+    {"run", "serve", "trace", "figure", "sweep", "sweep-worker", "app",
+     "profile"}
 )
 
 
@@ -784,6 +992,8 @@ def _dispatch(args: argparse.Namespace, out, record) -> int:
         return _command_figure(args, out, record)
     if args.command == "sweep":
         return _command_sweep(args, out, record)
+    if args.command == "sweep-worker":
+        return _command_sweep_worker(args, out, record)
     if args.command == "app":
         return _command_app(args, out, record)
     if args.command == "profile":
@@ -831,12 +1041,12 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             record["status"] = "error"
             record["error"] = f"{type(error).__name__}: {error}"
             record["wall_s"] = round(time.perf_counter() - started, 6)
-            runlog.RunLedger().record(record)
+            runlog.link_manifests(runlog.RunLedger().record(record))
             raise
         record["status"] = status
         record["wall_s"] = round(time.perf_counter() - started, 6)
         record["kernel_stats"] = kernel.stats()
-        runlog.RunLedger().record(record)
+        runlog.link_manifests(runlog.RunLedger().record(record))
         return status
     except BrokenPipeError:
         # Downstream pager/head closed the pipe: exit quietly, like a

@@ -17,6 +17,8 @@ import dataclasses
 import enum
 import hashlib
 import json
+import types
+import typing
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -24,6 +26,7 @@ from repro.units import Frequency, ns, us
 
 __all__ = [
     "to_jsonable",
+    "from_jsonable",
     "stable_digest",
     "AccessMechanism",
     "BackingStore",
@@ -97,6 +100,80 @@ def to_jsonable(value: object) -> object:
         return value
     raise ConfigError(
         f"cannot canonicalize a {type(value).__name__} for stable hashing"
+    )
+
+
+def from_jsonable(target: object, data: object) -> object:
+    """Inverse of :func:`to_jsonable`: rebuild ``target`` from ``data``.
+
+    ``target`` is a type annotation -- a frozen config dataclass, an
+    enum, ``Optional[...]`` of either, a ``list``/``tuple`` of them, or
+    a JSON primitive type.  This is what lets a sweep worker on another
+    host reconstruct an executable job from the JSON description the
+    work queue stores (see :mod:`repro.harness.coordinator`): the
+    round trip ``from_jsonable(T, to_jsonable(x))`` returns an object
+    equal to ``x`` for every config/spec type in the repo.
+
+    Unknown shapes raise :class:`~repro.errors.ConfigError` -- a job
+    that cannot be reconstructed faithfully must never execute with
+    silently dropped fields, for the same reason :func:`to_jsonable`
+    refuses lossy keys.
+    """
+    origin = typing.get_origin(target)
+    if origin is typing.Union or origin is types.UnionType:
+        members = [
+            member
+            for member in typing.get_args(target)
+            if member is not type(None)
+        ]
+        if data is None:
+            return None
+        if len(members) == 1:
+            return from_jsonable(members[0], data)
+        raise ConfigError(
+            f"cannot reconstruct ambiguous union {target!r}"
+        )
+    if target is object or target is typing.Any:
+        return data
+    if origin in (list, tuple) or target in (list, tuple):
+        if not isinstance(data, (list, tuple)):
+            raise ConfigError(
+                f"expected a sequence for {target!r}, got {type(data).__name__}"
+            )
+        args = typing.get_args(target)
+        if origin is tuple or target is tuple:
+            if len(args) == 2 and args[1] is Ellipsis:
+                item_types = [args[0]] * len(data)
+            elif args:
+                item_types = list(args)
+            else:
+                item_types = [object] * len(data)
+            return tuple(
+                from_jsonable(item_type, item)
+                for item_type, item in zip(item_types, data)
+            )
+        item_type = args[0] if args else object
+        return [from_jsonable(item_type, item) for item in data]
+    if isinstance(target, type) and issubclass(target, enum.Enum):
+        return target(data)
+    if dataclasses.is_dataclass(target) and isinstance(target, type):
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"expected a mapping for {target.__name__}, "
+                f"got {type(data).__name__}"
+            )
+        hints = typing.get_type_hints(target)
+        kwargs = {}
+        for field_ in dataclasses.fields(target):
+            if field_.name in data:
+                kwargs[field_.name] = from_jsonable(
+                    hints[field_.name], data[field_.name]
+                )
+        return target(**kwargs)
+    if target in (int, float, bool, str) or data is None:
+        return data
+    raise ConfigError(
+        f"cannot reconstruct a {target!r} from JSON data"
     )
 
 

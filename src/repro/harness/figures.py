@@ -127,6 +127,17 @@ def _resolve_engine(engine: Optional[SweepEngine]) -> SweepEngine:
     return engine if engine is not None else SweepEngine.from_env()
 
 
+def _checked_payload(outcome) -> dict:
+    """The outcome's payload, or :class:`SimulationError` if the job
+    failed (the engine records failures instead of losing the sweep;
+    a figure, though, needs every point)."""
+    if outcome.failed:
+        raise SimulationError(
+            f"sweep job failed ({outcome.job.describe()}): {outcome.error}"
+        )
+    return outcome.payload
+
+
 def _run_normalized_microbench(
     name: str,
     grid: list[tuple[Series, float, SweepJob]],
@@ -140,14 +151,14 @@ def _run_normalized_microbench(
     outcomes = engine.run(sweep)
     measured, baselines = outcomes[: len(jobs)], outcomes[len(jobs):]
     for (line, x, job), run, base in zip(grid, measured, baselines):
-        baseline_ipc = base.payload["work_ipc"]
+        baseline_ipc = _checked_payload(base)["work_ipc"]
         if baseline_ipc == 0:
             raise SimulationError(
                 "baseline measured zero work IPC for "
                 f"{job.config.describe()} (work_count={job.spec.work_count}, "
                 f"MLP {job.spec.reads_per_batch}); cannot normalize"
             )
-        line.add(x, run.payload["work_ipc"] / baseline_ipc)
+        line.add(x, _checked_payload(run)["work_ipc"] / baseline_ipc)
 
 
 def _run_normalized_applications(
@@ -163,8 +174,10 @@ def _run_normalized_applications(
     outcomes = engine.run(sweep)
     measured, baselines = outcomes[: len(jobs)], outcomes[len(jobs):]
     for (line, x, _job), run, base in zip(grid, measured, baselines):
-        base_per_op = base.payload["ticks"] / base.payload["operations"]
-        run_per_op = run.payload["ticks"] / run.payload["operations"]
+        base_payload = _checked_payload(base)
+        run_payload = _checked_payload(run)
+        base_per_op = base_payload["ticks"] / base_payload["operations"]
+        run_per_op = run_payload["ticks"] / run_payload["operations"]
         line.add(x, base_per_op / run_per_op)
 
 
@@ -581,8 +594,9 @@ def figA_slo(
     outcomes = engine.run(sweep)
     ns_per_us = US / NS
     for (lines, load, _job), outcome in zip(grid, outcomes):
+        payload = _checked_payload(outcome)
         for key, payload_field in _SLO_QUANTILES:
-            lines[key].add(load, outcome.payload[payload_field] / ns_per_us)
+            lines[key].add(load, payload[payload_field] / ns_per_us)
     return result
 
 

@@ -51,6 +51,7 @@ class SweepProgress:
         self._started = 0.0
         self._last_render = float("-inf")
         self._open_line = False
+        self._queue_counts: dict = {}
 
     # -- engine hooks ------------------------------------------------------
 
@@ -68,6 +69,7 @@ class SweepProgress:
         self._ewma_s = None
         self._started = self._clock()
         self._last_render = float("-inf")
+        self._queue_counts = {}
         self._render(active=0, force=True)
 
     def job_done(self, wall_s: float, active: int = 0) -> None:
@@ -87,6 +89,14 @@ class SweepProgress:
     def heartbeat(self, active: int) -> None:
         """Nothing finished, but the sweep is alive (poll-loop tick)."""
         self._render(active=active)
+
+    def queue_snapshot(self, counts: dict) -> None:
+        """Work-queue state from a coordinated sweep (the
+        pending/leased/done/failed counts of
+        :meth:`repro.harness.coordinator.WorkQueue.counts`); folded
+        into the next rendered status line.  Observational only, like
+        every other hook."""
+        self._queue_counts = dict(counts)
 
     def finish(self, stats: dict) -> None:
         """The sweep completed; emit the final summary line."""
@@ -127,6 +137,10 @@ class SweepProgress:
             f"{self._cache_hits} cache hits, {active} active, "
             f"eta {eta_text}"
         )
+        leased = self._queue_counts.get("leased", 0)
+        failed = self._queue_counts.get("failed", 0)
+        if leased or failed:
+            line += f" [queue: {leased} leased, {failed} failed]"
         if self._isatty:
             print(f"\r{line:<70}", end="", file=self.stream, flush=True)
             self._open_line = True

@@ -19,9 +19,26 @@ sweep layer embarrassingly parallel and perfectly cacheable:
   parameters) salted with :data:`MODEL_VERSION`, so repeated figure
   runs and CI are near-instant and a model change invalidates
   everything at once;
-* a worker that dies, hangs past ``timeout_s``, or cannot be spawned
-  at all is retried and then **falls back to in-process execution**,
-  so a sweep always completes with correct results.
+* parallel execution is coordinated through a durable on-disk work
+  queue (:mod:`repro.harness.coordinator`): worker *processes* claim
+  jobs by atomic lease files, report job starts to the supervising
+  engine, and write result records the engine harvests.  A worker
+  that hangs past ``timeout_s`` (measured from when the job actually
+  *started*, never from submission) is killed and replaced, so one
+  stuck job cannot silently serialize the sweep; a worker that dies
+  or raises is retried up to ``retries`` times and then **falls back
+  to in-process execution**;
+* a job that fails deterministically (the fallback raises too) becomes
+  a structured *failure outcome* -- ``JobOutcome.error`` is set, the
+  queue records the ``failed`` state, and every other job's result is
+  preserved -- so a sweep always completes and never loses finished
+  work;
+* pointing the engine at a persistent ``queue_dir`` makes sweeps
+  **interruptible and resumable**: completed jobs persist as queue
+  records, independently launched ``repro sweep-worker --queue DIR``
+  processes (or other hosts sharing the directory) drain the same
+  queue, and a re-run executes only the missing jobs while producing
+  bit-for-bit identical outcomes.
 
 Baselines are ordinary jobs: :func:`baseline_job` derives the
 single-thread on-demand DRAM run that normalizes a measurement, and
@@ -32,7 +49,8 @@ rely on.
 
 Execution statistics flow through :class:`repro.sim.trace.ProbeSet`
 counters (``sweep-cache-hit``, ``sweep-cache-miss``, ``sweep-sim``,
-``sweep-retry``, ``sweep-fallback``) and a ``sweep-job-wall-ns``
+``sweep-retry``, ``sweep-fallback``, ``sweep-failed``,
+``sweep-respawn``, ``sweep-queue-hit``) and a ``sweep-job-wall-ns``
 latency probe, so benchmarks can assert cache behavior and speedup.
 """
 
@@ -41,6 +59,9 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import queue as queue_mod
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -59,6 +80,7 @@ from repro.config import (
     to_jsonable,
 )
 from repro.errors import ConfigError
+from repro.harness import coordinator
 from repro.harness.applications import run_application
 from repro.harness.experiment import MeasureWindow, run_microbench
 from repro.harness.service import ServiceParams, run_service
@@ -159,12 +181,23 @@ class SweepSpec:
 
 @dataclass(frozen=True)
 class JobOutcome:
-    """One executed (or cache-served) job, in submission order."""
+    """One executed (or cache-served) job, in submission order.
+
+    ``error`` is None for a successful job; for a job that failed
+    deterministically (every retry and the in-process fallback raised)
+    it carries the ``"ErrorType: message"`` string and ``payload`` is
+    the structured failure record (``{"kind": "failure", ...}``).
+    """
 
     job: SweepJob
     key: str
     payload: dict
     cached: bool
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 def job_digest(job: SweepJob, salt: str = MODEL_VERSION) -> str:
@@ -280,6 +313,16 @@ def _execute_job(
     return payload
 
 
+def _failure_payload(error_text: str, error_type: str, worker: str) -> dict:
+    """The structured payload a deterministically failing job yields."""
+    return {
+        "kind": "failure",
+        "error": error_text,
+        "error_type": error_type,
+        "worker": worker,
+    }
+
+
 class ResultCache:
     """Content-addressed on-disk cache: one JSON file per job key.
 
@@ -340,14 +383,28 @@ class ResultCache:
 
 
 class SweepEngine:
-    """Executes sweeps on a worker pool, memoizing results on disk.
+    """Executes sweeps on worker processes, memoizing results on disk.
 
     ``jobs`` is the worker-process count (1 = in-process, serial).
-    ``timeout_s`` bounds each wait on a pool result; a timeout or a
-    worker exception is retried up to ``retries`` times through the
-    pool and then falls back to in-process execution, so one bad
-    worker can never lose a sweep.  Outcomes are always returned in
-    submission order -- results are deterministic for any ``jobs``.
+    Parallel execution goes through a :class:`~repro.harness
+    .coordinator.WorkQueue` (a throwaway one unless ``queue_dir`` is
+    set): workers claim jobs by lease, and the engine supervises them
+    with per-job deadlines measured from the *observed job start* --
+    time spent waiting for a free worker never counts against
+    ``timeout_s``.  A hung worker is killed and replaced (restoring
+    pool concurrency), a worker exception or crash is retried up to
+    ``retries`` times and then falls back to in-process execution, and
+    a job whose fallback also raises becomes a structured failure
+    outcome instead of abandoning the sweep.  Outcomes are always
+    returned in submission order -- results are deterministic for any
+    ``jobs``.
+
+    With a persistent ``queue_dir`` the sweep is interruptible and
+    resumable: every completed job's record survives in
+    ``queue_dir/<name>-<spec digest>/`` alongside an experiment
+    manifest, a re-run executes only unresolved jobs, and
+    independently launched ``repro sweep-worker --queue DIR``
+    processes share the work.
     """
 
     def __init__(
@@ -362,12 +419,20 @@ class SweepEngine:
         collect_metrics: bool = False,
         check_invariants: bool = False,
         progress=None,
+        queue_dir: Union[str, os.PathLike, None] = None,
+        lease_s: float = coordinator.DEFAULT_LEASE_S,
     ) -> None:
         if jobs < 1:
             raise ConfigError("the sweep engine needs at least one worker")
         if retries < 0:
             raise ConfigError("retries cannot be negative")
+        if not timeout_s > 0:
+            raise ConfigError("the per-job timeout must be positive")
+        if not lease_s > 0:
+            raise ConfigError("the queue lease duration must be positive")
         self.jobs = jobs
+        self.queue_dir = queue_dir
+        self.lease_s = lease_s
         self.collect_metrics = bool(collect_metrics)
         self.check_invariants = bool(check_invariants)
         #: Optional :class:`repro.harness.progress.SweepProgress` (or
@@ -397,15 +462,35 @@ class SweepEngine:
     def from_env(cls, environ: Optional[dict] = None) -> "SweepEngine":
         """Engine configured from ``REPRO_SWEEP_JOBS`` (worker count),
         ``REPRO_CACHE_DIR`` (cache root), ``REPRO_NO_CACHE`` (any
-        non-empty value disables the on-disk cache) and
+        non-empty value disables the on-disk cache),
         ``REPRO_SWEEP_METRICS`` (any non-empty value adds a registry
-        snapshot to every microbench payload)."""
+        snapshot to every microbench payload),
+        ``REPRO_SWEEP_TIMEOUT_S`` (per-job deadline, measured from the
+        observed job start) and ``REPRO_SWEEP_RETRIES`` (worker-side
+        attempts before the in-process fallback), so CI and remote
+        workers tune failure handling without code changes."""
         env = os.environ if environ is None else environ
+        timeout_raw = env.get("REPRO_SWEEP_TIMEOUT_S")
+        try:
+            timeout_s = float(timeout_raw) if timeout_raw else 900.0
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_SWEEP_TIMEOUT_S={timeout_raw!r} is not a number"
+            )
+        retries_raw = env.get("REPRO_SWEEP_RETRIES")
+        try:
+            retries = int(retries_raw) if retries_raw else 1
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_SWEEP_RETRIES={retries_raw!r} is not an integer"
+            )
         return cls(
             jobs=int(env.get("REPRO_SWEEP_JOBS", "1") or "1"),
             cache_dir=env.get("REPRO_CACHE_DIR", ".repro_cache"),
             use_cache=not env.get("REPRO_NO_CACHE"),
             collect_metrics=bool(env.get("REPRO_SWEEP_METRICS")),
+            timeout_s=timeout_s,
+            retries=retries,
         )
 
     # -- execution -------------------------------------------------------
@@ -427,18 +512,46 @@ class SweepEngine:
         for key, job in zip(keys, jobs):
             unique.setdefault(key, job)
 
-        results: dict[str, dict] = {}
+        queue = (
+            self._open_queue(name, list(unique))
+            if self.queue_dir is not None
+            else None
+        )
+
+        # Every resolved key gets a done record {payload, cached,
+        # worker, wall_s}; kernel totals below sum the ``cached=False``
+        # ones, so an interrupted-then-resumed sweep reports the same
+        # simulator totals as an uninterrupted run.
+        records: dict[str, dict] = {}
         served_from_cache: set[str] = set()
+        queue_served: set[str] = set()
         pending: list[tuple[str, SweepJob]] = []
         for key, job in unique.items():
+            record = queue.done_record(key) if queue is not None else None
+            if record is not None and isinstance(record.get("payload"), dict):
+                # A previous (interrupted) run or a concurrent worker
+                # already finished this job; the queue record outranks
+                # the cache so resumed totals stay bit-for-bit.
+                self.probes.counter("sweep-queue-hit").add()
+                records[key] = record
+                queue_served.add(key)
+                continue
             hit = self.cache.load(key) if self.cache else None
             if hit is not None:
                 self.probes.counter("sweep-cache-hit").add()
-                results[key] = hit
+                record = {
+                    "payload": hit,
+                    "cached": True,
+                    "worker": coordinator.worker_id(),
+                    "wall_s": 0.0,
+                }
+                records[key] = record
                 served_from_cache.add(key)
-            else:
-                self.probes.counter("sweep-cache-miss").add()
-                pending.append((key, job))
+                if queue is not None:
+                    queue.complete(key, record)
+                continue
+            self.probes.counter("sweep-cache-miss").add()
+            pending.append((key, job))
 
         if self.progress is not None:
             self.progress.begin(
@@ -447,43 +560,47 @@ class SweepEngine:
                 cache_hits=len(served_from_cache),
                 workers=self.jobs,
             )
-        executed, retries, fallbacks = self._execute(pending)
-        for key, job in pending:
-            results[key] = executed[key]
-            if self.cache:
-                self.cache.store(key, job, self.salt, executed[key])
+        failures: dict[str, str] = {}
+        counters = {"retries": 0, "fallbacks": 0, "respawns": 0}
+        try:
+            self._execute(name, pending, queue, records, failures, counters)
+        except KeyboardInterrupt:
+            # Interrupted mid-sweep: everything harvested so far is
+            # already durable in the queue; stamp the manifest so a
+            # ``--resume`` (or ``runs show``) sees the partial state.
+            self.last_stats = self._summarize(
+                name, jobs, unique, served_from_cache, queue_served,
+                records, failures, counters, started, queue,
+                interrupted=True,
+            )
+            raise
 
-        # Merge the kernel counters shipped inside each freshly
-        # executed payload: the parent now reports simulator totals
-        # even for work done in worker processes.
-        kernel_totals: dict[str, int] = {}
-        for key, _job in pending:
-            for stat, value in executed[key].get("kernel_stats", {}).items():
-                kernel_totals[stat] = kernel_totals.get(stat, 0) + value
+        if self.cache is not None:
+            for key in sorted(queue_served):
+                self.cache.store(
+                    key, unique[key], self.salt, records[key]["payload"]
+                )
+            for key, job in pending:
+                if key not in failures:
+                    self.cache.store(
+                        key, job, self.salt, records[key]["payload"]
+                    )
 
         self.probes.counter("sweep-jobs").add(len(jobs))
         self.probes.counter("sweep-sim").add(len(pending))
-        self.last_stats = {
-            "name": name,
-            "jobs": len(jobs),
-            "unique": len(unique),
-            "cache_hits": len(served_from_cache),
-            "cache_misses": len(pending),
-            "simulated": len(pending),
-            "retries": retries,
-            "fallbacks": fallbacks,
-            "workers": self.jobs,
-            "wall_s": time.perf_counter() - started,
-            "kernel_stats": kernel_totals,
-        }
+        self.last_stats = self._summarize(
+            name, jobs, unique, served_from_cache, queue_served,
+            records, failures, counters, started, queue,
+        )
         if self.progress is not None:
             self.progress.finish(self.last_stats)
         return [
             JobOutcome(
                 job=job,
                 key=key,
-                payload=results[key],
-                cached=key in served_from_cache,
+                payload=records[key]["payload"],
+                cached=key in served_from_cache or key in queue_served,
+                error=failures.get(key),
             )
             for job, key in zip(jobs, keys)
         ]
@@ -496,127 +613,440 @@ class SweepEngine:
             "simulated": counter("sweep-sim").total,
             "cache_hits": counter("sweep-cache-hit").total,
             "cache_misses": counter("sweep-cache-miss").total,
+            "queue_hits": counter("sweep-queue-hit").total,
             "retries": counter("sweep-retry").total,
             "fallbacks": counter("sweep-fallback").total,
+            "failed": counter("sweep-failed").total,
+            "respawns": counter("sweep-respawn").total,
         }
+
+    # -- queue plumbing --------------------------------------------------
+
+    def _open_queue(self, name: str, keys: list[str]) -> coordinator.WorkQueue:
+        """Create-or-attach this sweep's persistent queue (one
+        subdirectory of ``queue_dir`` per distinct sweep spec) and
+        return previously ``failed`` jobs to pending so a resume
+        retries them."""
+        from repro.obs.runlog import git_sha
+
+        digest = coordinator.spec_digest(name, self.salt, keys)
+        root = Path(self.queue_dir) / f"{name}-{digest[:12]}"
+        queue = coordinator.WorkQueue.ensure(
+            root,
+            name=name,
+            salt=self.salt,
+            model_version=MODEL_VERSION,
+            keys=keys,
+            collect_metrics=self.collect_metrics,
+            check_invariants=self.check_invariants,
+            git_sha=git_sha(),
+        )
+        for key in keys:
+            queue.clear_failure(key)
+        return queue
+
+    def _summarize(
+        self, name, jobs, unique, served_from_cache, queue_served,
+        records, failures, counters, started, queue, interrupted=False,
+    ) -> dict:
+        # Simulator totals for this *experiment*: sum the counters in
+        # every non-cache-served record.  Each job executes exactly
+        # once across an interrupt+resume pair, so the resumed totals
+        # equal an uninterrupted run's.
+        kernel_totals: dict[str, int] = {}
+        for record in records.values():
+            if record.get("cached"):
+                continue
+            payload = record.get("payload") or {}
+            for stat, value in payload.get("kernel_stats", {}).items():
+                kernel_totals[stat] = kernel_totals.get(stat, 0) + value
+        executed = len(unique) - len(served_from_cache) - len(queue_served)
+        stats = {
+            "name": name,
+            "jobs": len(jobs),
+            "unique": len(unique),
+            "cache_hits": len(served_from_cache),
+            "cache_misses": executed,
+            "simulated": executed,
+            "queue_served": len(queue_served),
+            "retries": counters["retries"],
+            "fallbacks": counters["fallbacks"],
+            "worker_respawns": counters["respawns"],
+            "failed": len(failures),
+            "failures": dict(sorted(failures.items())),
+            "workers": self.jobs,
+            "wall_s": time.perf_counter() - started,
+            "kernel_stats": kernel_totals,
+        }
+        if interrupted:
+            stats["interrupted"] = True
+        if queue is not None:
+            manifest = queue.finalize_manifest()
+            stats["queue"] = {
+                "dir": str(queue.root),
+                "spec_digest": manifest.get("spec_digest"),
+                "counts": manifest.get("counts"),
+            }
+        return stats
+
+    # -- execution strategies --------------------------------------------
 
     def _execute(
-        self, pending: list[tuple[str, SweepJob]]
-    ) -> tuple[dict[str, dict], int, int]:
-        results: dict[str, dict] = {}
-        retries = fallbacks = 0
-        wall = self.probes.latency("sweep-job-wall-ns")
-        progress = self.progress
+        self, name, pending, queue, records, failures, counters
+    ) -> None:
+        """Resolve every pending key into ``records`` (and failed ones
+        into ``failures``), dispatching on worker count and queue."""
+        if not pending:
+            return
         if self.jobs > 1 and len(pending) > 1:
-            pool = self._make_pool(min(self.jobs, len(pending)))
-            if pool is not None:
-                try:
-                    return self._execute_pool(pool, pending, results, wall)
-                finally:
-                    pool.terminate()
-                    pool.join()
+            owned_root = None
+            if queue is None:
+                # No persistent queue requested: parallel runs still
+                # coordinate through the same machinery, on a
+                # throwaway queue directory.
+                owned_root = tempfile.mkdtemp(prefix="repro-sweep-")
+                queue = coordinator.WorkQueue.ensure(
+                    owned_root,
+                    name=name,
+                    salt=self.salt,
+                    model_version=MODEL_VERSION,
+                    keys=[key for key, _job in pending],
+                    collect_metrics=self.collect_metrics,
+                    check_invariants=self.check_invariants,
+                )
+            try:
+                for key, job in pending:
+                    queue.enqueue(key, job)
+                self._execute_parallel(
+                    queue, pending, records, failures, counters
+                )
+            finally:
+                if owned_root is not None:
+                    shutil.rmtree(owned_root, ignore_errors=True)
+            return
+        if queue is not None:
+            for key, job in pending:
+                queue.enqueue(key, job)
+            self._execute_queue_serial(queue, pending, records, failures)
+            return
+        self._execute_serial(pending, records, failures)
+
+    def _execute_serial(self, pending, records, failures) -> None:
+        """In-process execution (``jobs=1``, no queue directory)."""
+        worker = coordinator.worker_id()
         for key, job in pending:
             t0 = time.perf_counter()
-            results[key] = _execute_job(
-                job, self.collect_metrics, self.check_invariants
-            )
-            elapsed = time.perf_counter() - t0
-            wall.record(int(elapsed * NS_PER_S))
-            if progress is not None:
-                progress.job_done(elapsed, active=0)
-        return results, retries, fallbacks
+            error = None
+            try:
+                payload = _execute_job(
+                    job, self.collect_metrics, self.check_invariants
+                )
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                payload = _failure_payload(error, type(exc).__name__, worker)
+                failures[key] = error
+                self.probes.counter("sweep-failed").add()
+            record = {
+                "payload": payload,
+                "cached": False,
+                "worker": worker,
+                "wall_s": time.perf_counter() - t0,
+            }
+            if error is not None:
+                record["error"] = error
+            records[key] = record
+            self._note_done(record, remaining=0)
 
-    def _execute_pool(
-        self,
-        pool,
-        pending: list[tuple[str, SweepJob]],
-        results: dict[str, dict],
-        wall,
-    ) -> tuple[dict[str, dict], int, int]:
-        """Pool execution with a completion-order poll loop.
+    def _execute_queue_serial(self, queue, pending, records, failures) -> None:
+        """Drain this sweep's jobs in-process through the queue
+        (``jobs=1`` with a persistent ``queue_dir``): claims keep
+        concurrent standalone workers off our jobs, and done records
+        make every completion durable the moment it happens."""
+        worker = coordinator.worker_id()
+        open_jobs = dict(pending)
+        while open_jobs:
+            progressed = False
+            for key in list(open_jobs):
+                record = queue.done_record(key)
+                if record is not None and isinstance(
+                    record.get("payload"), dict
+                ):
+                    # A standalone worker sharing the queue finished it.
+                    records[key] = record
+                    del open_jobs[key]
+                    self._note_done(record, remaining=len(open_jobs))
+                    progressed = True
+                    continue
+                if queue.failure(key) is not None:
+                    # A standalone worker failed it; this run owns the
+                    # final verdict, so retry locally.
+                    queue.clear_failure(key)
+                if not queue.try_claim(key, worker, self.lease_s):
+                    continue  # a live worker holds it; revisit
+                record = self._run_inline(
+                    queue, key, open_jobs[key], records, failures
+                )
+                del open_jobs[key]
+                self._note_done(record, remaining=len(open_jobs))
+                progressed = True
+            if open_jobs and not progressed:
+                self._note_waiting(queue, active=1)
+                time.sleep(0.05)
 
-        Polling (rather than a serial ``get`` per ticket, as earlier
-        revisions did) lets finished jobs report live progress while
-        slower ones run, and gives every ticket its own submission-time
-        deadline.  The retry-then-in-process-fallback semantics are
-        unchanged: a worker exception or a ``timeout_s`` overrun is
-        resubmitted up to ``retries`` times and then executed in the
-        parent, so a sweep always completes.
+    def _execute_parallel(
+        self, queue, pending, records, failures, counters
+    ) -> None:
+        """Supervise local worker processes draining the queue.
+
+        Workers report each job's actual start (worker-side monotonic
+        stamp), so ``timeout_s`` measures execution, never time spent
+        waiting for a free worker.  A worker past the deadline is
+        killed and a replacement spawned; a worker failure or crash is
+        retried through the queue up to ``retries`` times and then run
+        in-process; a job whose fallback also raises is recorded as a
+        structured failure.
         """
-        retries = fallbacks = 0
-        progress = self.progress
-        job_args = (self.collect_metrics, self.check_invariants)
+        context = self._mp_context()
+        events = context.Queue()
+        base = coordinator.worker_id()
+        workers: dict = {}
+        all_dead: set = set()
+        spawned = 0
+        # Backstop against workers that die before claiming anything
+        # (broken environment): after this many spawns, finish inline.
+        spawn_budget = (
+            min(self.jobs, len(pending))
+            + len(pending) * (self.retries + 1)
+        )
 
-        def submit(job: SweepJob):
-            return pool.apply_async(_execute_job, (job,) + job_args)
+        def spawn() -> None:
+            nonlocal spawned
+            proc = context.Process(
+                target=coordinator._local_worker_main,
+                args=(
+                    str(queue.root), f"{base}-w{spawned}", events,
+                    self.collect_metrics, self.check_invariants,
+                    self.lease_s,
+                ),
+                daemon=True,
+            )
+            spawned += 1
+            proc.start()
+            workers[f"{base}-w{spawned - 1}"] = proc
+
+        def resolve_locally(key, entry) -> None:
+            """Retries exhausted: the parent runs the job itself."""
+            record = self._run_inline(
+                queue, key, entry["job"], records, failures, counters
+            )
+            del state[key]
+            self._note_done(record, remaining=len(state))
 
         state = {
-            key: {
-                "job": job,
-                "ticket": submit(job),
-                "t0": time.perf_counter(),
-                "attempts": 0,
-            }
+            key: {"job": job, "attempts": 0, "worker": None, "started": None}
             for key, job in pending
         }
-        open_keys = list(state)
-        while open_keys:
-            still_open: list[str] = []
-            harvested = False
-            for key in open_keys:
-                entry = state[key]
-                payload = None
-                failed = False
-                if entry["ticket"].ready():
-                    try:
-                        payload = entry["ticket"].get(0)
-                    except Exception:
-                        failed = True
-                elif time.perf_counter() - entry["t0"] > self.timeout_s:
-                    failed = True  # hung worker: abandon the ticket
-                else:
-                    still_open.append(key)
-                    continue
-                if failed:
-                    if entry["attempts"] < self.retries:
-                        entry["attempts"] += 1
-                        retries += 1
-                        self.probes.counter("sweep-retry").add()
-                        entry["ticket"] = submit(entry["job"])
-                        entry["t0"] = time.perf_counter()
-                        still_open.append(key)
+        try:
+            for _ in range(min(self.jobs, len(state))):
+                spawn()
+            while state:
+                try:
+                    while True:
+                        event = events.get_nowait()
+                        if event[0] == "started" and event[2] in state:
+                            entry = state[event[2]]
+                            entry["worker"] = event[1]
+                            entry["started"] = event[3]
+                except queue_mod.Empty:
+                    pass
+                for name in [
+                    n for n, p in workers.items() if not p.is_alive()
+                ]:
+                    workers.pop(name).join()
+                    all_dead.add(name)
+                harvested = False
+                for key in list(state):
+                    entry = state[key]
+                    if queue.failure(key) is not None:
+                        # The worker moved on already; only the retry
+                        # budget decides what happens next.
+                        if self._note_retry(counters, entry):
+                            queue.clear_failure(key)  # claimable again
+                            entry["worker"] = entry["started"] = None
+                        else:
+                            resolve_locally(key, entry)
+                            harvested = True
                         continue
-                    fallbacks += 1
-                    self.probes.counter("sweep-fallback").add()
-                    payload = _execute_job(entry["job"], *job_args)
-                results[key] = payload
-                harvested = True
-                elapsed = time.perf_counter() - entry["t0"]
-                wall.record(int(elapsed * NS_PER_S))
-                if progress is not None:
-                    remaining = len(state) - len(results)
-                    progress.job_done(
-                        elapsed, active=min(self.jobs, remaining)
+                    if (
+                        entry["started"] is not None
+                        and time.monotonic() - entry["started"]
+                        > self.timeout_s
+                    ):
+                        # Hung worker: kill it -- a timed-out ticket
+                        # must not keep occupying its pool slot.
+                        proc = workers.pop(entry["worker"], None)
+                        if proc is not None:
+                            all_dead.add(entry["worker"])
+                            proc.terminate()
+                            proc.join(timeout=5.0)
+                            if proc.is_alive():  # pragma: no cover
+                                proc.kill()
+                                proc.join()
+                        queue.release(key)
+                        entry["worker"] = entry["started"] = None
+                        if not self._note_retry(counters, entry):
+                            resolve_locally(key, entry)
+                            harvested = True
+                        continue
+                    record = queue.done_record(key)
+                    if record is not None and isinstance(
+                        record.get("payload"), dict
+                    ):
+                        records[key] = record
+                        del state[key]
+                        self._note_done(record, remaining=len(state))
+                        harvested = True
+                        continue
+                    # Crashed worker holding this key?  (The lease
+                    # check covers claims whose started event was
+                    # still in flight when the worker died.)
+                    holder = entry["worker"]
+                    if holder is None and all_dead:
+                        lease = queue.lease(key)
+                        if (
+                            lease is not None
+                            and lease.get("worker") in all_dead
+                        ):
+                            holder = lease["worker"]
+                    if holder is not None and holder in all_dead:
+                        queue.release(key)
+                        entry["worker"] = entry["started"] = None
+                        if not self._note_retry(counters, entry):
+                            resolve_locally(key, entry)
+                            harvested = True
+                # Respawn to restore the configured concurrency after
+                # kills and crashes.
+                while (
+                    state
+                    and len(workers) < min(self.jobs, len(state))
+                    and spawned < spawn_budget
+                ):
+                    spawn()
+                    counters["respawns"] += 1
+                    self.probes.counter("sweep-respawn").add()
+                if not workers and state and spawned >= spawn_budget:
+                    for key in list(state):  # pragma: no cover - backstop
+                        queue.release(key)
+                        resolve_locally(key, state[key])
+                    break
+                if state and not harvested:
+                    self._note_waiting(
+                        queue, active=min(self.jobs, len(state))
                     )
-            open_keys = still_open
-            if open_keys and not harvested:
-                if progress is not None:
-                    progress.heartbeat(active=min(self.jobs, len(open_keys)))
-                time.sleep(0.01)
-        return results, retries, fallbacks
+                    time.sleep(0.02)
+        finally:
+            for proc in workers.values():
+                proc.terminate()
+            for proc in workers.values():
+                proc.join()
+            # Terminated workers cannot release their own claims, and
+            # their lease records embed this parent's (live) pid -- so
+            # drop them here, or a resume from this same process would
+            # wait out the full lease term.
+            prefix = f"{base}-w"
+            for key in state:
+                lease = queue.lease(key)
+                if lease is not None and str(
+                    lease.get("worker", "")
+                ).startswith(prefix):
+                    queue.release(key)
+            events.close()
+
+    # -- shared helpers --------------------------------------------------
+
+    def _note_retry(self, counters, entry) -> bool:
+        """Account one failed attempt; True if the job goes back to
+        the queue, False when retries are exhausted and the caller
+        must resolve it in-process."""
+        if entry["attempts"] < self.retries:
+            entry["attempts"] += 1
+            counters["retries"] += 1
+            self.probes.counter("sweep-retry").add()
+            return True
+        counters["fallbacks"] += 1
+        self.probes.counter("sweep-fallback").add()
+        return False
+
+    def _run_inline(
+        self, queue, key, job, records, failures, counters=None
+    ) -> dict:
+        """Execute ``key`` in this process and resolve it in the queue
+        (the serial queue path, and the retries-exhausted fallback).
+        A job that raises here becomes a structured failure record --
+        never a lost sweep."""
+        worker = f"{coordinator.worker_id()}-inline"
+        queue.try_claim(key, worker, self.lease_s)
+        t0 = time.perf_counter()
+        try:
+            payload = _execute_job(
+                job, self.collect_metrics, self.check_invariants
+            )
+        except KeyboardInterrupt:
+            queue.release(key)
+            raise
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            record = {
+                "payload": _failure_payload(
+                    error, type(exc).__name__, worker
+                ),
+                "cached": False,
+                "worker": worker,
+                "wall_s": time.perf_counter() - t0,
+                "error": error,
+            }
+            queue.fail(key, coordinator._failure_record(exc, worker))
+            failures[key] = error
+            records[key] = record
+            self.probes.counter("sweep-failed").add()
+            return record
+        record = {
+            "payload": payload,
+            "cached": False,
+            "worker": worker,
+            "wall_s": time.perf_counter() - t0,
+        }
+        queue.complete(key, record)
+        records[key] = record
+        return record
+
+    def _note_done(self, record, remaining: int) -> None:
+        wall_s = float(record.get("wall_s") or 0.0)
+        self.probes.latency("sweep-job-wall-ns").record(
+            int(wall_s * NS_PER_S)
+        )
+        if self.progress is not None:
+            active = min(self.jobs, remaining) if self.jobs > 1 else 0
+            self.progress.job_done(wall_s, active=active)
+
+    def _note_waiting(self, queue, active: int) -> None:
+        if self.progress is None:
+            return
+        self.progress.heartbeat(active=active)
+        snapshot = getattr(self.progress, "queue_snapshot", None)
+        if snapshot is not None and queue is not None:
+            snapshot(queue.counts())
 
     @staticmethod
-    def _make_pool(processes: int):
-        """A fork-based pool where available (cheap, inherits the
-        loaded model), else spawn; None if no pool can be created
-        (the caller then runs everything in-process)."""
-        try:
-            method = (
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else None
-            )
-            context = multiprocessing.get_context(method)
-            return context.Pool(processes=processes)
-        except (OSError, ValueError):  # pragma: no cover - platform quirk
-            return None
+    def _mp_context():
+        """A fork context where available (cheap, inherits the loaded
+        model -- and monkeypatches, which the fault-injection tests
+        rely on), else the platform default."""
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        return multiprocessing.get_context(method)

@@ -35,7 +35,13 @@ from typing import Optional, Union
 
 from repro.errors import ConfigError
 
-__all__ = ["LEDGER_FORMAT", "RunLedger", "git_sha", "digest_of"]
+__all__ = [
+    "LEDGER_FORMAT",
+    "RunLedger",
+    "git_sha",
+    "digest_of",
+    "link_manifests",
+]
 
 #: Bump when the per-entry schema changes incompatibly; readers skip
 #: entries whose format tag they do not recognize.
@@ -69,6 +75,30 @@ def digest_of(payload) -> str:
         payload, sort_keys=True, separators=(",", ":"), default=str
     )
     return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def link_manifests(entry: Optional[dict]) -> None:
+    """Record ``entry``'s run id in the sweep-queue manifest it used.
+
+    A recorded sweep that ran against a persistent queue notes the
+    queue directory in ``entry["sweep"]["queue"]["dir"]``; writing the
+    ledger ``run_id`` back into that queue's experiment manifest links
+    the versioned experiment record to its provenance trail.  Like the
+    ledger itself this is best-effort: a missing or foreign manifest
+    never fails the run.
+    """
+    if not entry:
+        return
+    run_id = entry.get("run_id")
+    root = ((entry.get("sweep") or {}).get("queue") or {}).get("dir")
+    if not run_id or not root:
+        return
+    from repro.harness.coordinator import WorkQueue
+
+    try:
+        WorkQueue.attach(root).note_run(str(run_id))
+    except (ConfigError, OSError):
+        pass
 
 
 class RunLedger:

@@ -261,6 +261,10 @@ def test_engine_rejects_bad_configuration():
         SweepEngine(jobs=0)
     with pytest.raises(ConfigError):
         SweepEngine(retries=-1)
+    with pytest.raises(ConfigError):
+        SweepEngine(timeout_s=0.0)
+    with pytest.raises(ConfigError):
+        SweepEngine(lease_s=-1.0)
 
 
 def test_from_env_reads_environment():
@@ -273,6 +277,28 @@ def test_from_env_reads_environment():
     cached = SweepEngine.from_env({"REPRO_CACHE_DIR": "/tmp/x"})
     assert cached.jobs == 1
     assert str(cached.cache.root) == "/tmp/x"
+
+
+def test_from_env_reads_failure_tuning():
+    engine = SweepEngine.from_env(
+        {"REPRO_NO_CACHE": "1", "REPRO_SWEEP_TIMEOUT_S": "12.5",
+         "REPRO_SWEEP_RETRIES": "3"}
+    )
+    assert engine.timeout_s == 12.5
+    assert engine.retries == 3
+    defaults = SweepEngine.from_env({"REPRO_NO_CACHE": "1"})
+    assert defaults.timeout_s == 900.0
+    assert defaults.retries == 1
+
+
+@pytest.mark.parametrize("variable,value", [
+    ("REPRO_SWEEP_TIMEOUT_S", "soon"),
+    ("REPRO_SWEEP_RETRIES", "2.5"),
+    ("REPRO_SWEEP_RETRIES", "many"),
+])
+def test_from_env_rejects_malformed_failure_tuning(variable, value):
+    with pytest.raises(ConfigError, match=variable):
+        SweepEngine.from_env({"REPRO_NO_CACHE": "1", variable: value})
 
 
 # ---------------------------------------------------------------------------

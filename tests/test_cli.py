@@ -322,3 +322,102 @@ def test_figure_run_records_series_digests():
     assert figure["payload"]["series"]
     assert set(figure["series_digests"]) == set(figure["payload"]["series"])
     assert entry["sweep"]["kernel_stats"]["events_fired"] > 0
+
+
+def test_sweep_with_queue_is_resumable(tmp_path):
+    queue_dir = str(tmp_path / "queue")
+    code, text = run_cli(
+        "sweep", "fig3", "--scale", "quick", "--jobs", "2",
+        "--queue", queue_dir, "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert code == 0
+    assert "queue         : " in text
+    assert "manifest      : spec " in text
+    # Re-entering the same queue with a cold cache replays done
+    # records; nothing simulates again.
+    code, replay = run_cli(
+        "sweep", "fig3", "--scale", "quick", "--jobs", "2",
+        "--queue", queue_dir, "--cache-dir", str(tmp_path / "cache2"),
+    )
+    assert code == 0
+    assert "simulated     : 0 jobs" in replay
+    assert "jobs served from queue records" in replay
+
+
+def test_sweep_queue_manifest_links_ledger_runs(tmp_path):
+    from repro.harness.coordinator import find_queues
+    from repro.obs.runlog import RunLedger
+
+    queue_dir = tmp_path / "queue"
+    code, _ = run_cli(
+        "sweep", "fig3", "--scale", "quick",
+        "--queue", str(queue_dir), "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert code == 0
+    [queue] = find_queues(queue_dir)
+    entry = RunLedger().resolve("-1")
+    assert queue.manifest()["runs"] == [entry["run_id"]]
+    # runs show renders the experiment manifest alongside the entry.
+    code, text = run_cli("runs", "show", "-1")
+    assert code == 0
+    assert "experiment manifest" in text
+    assert "spec_digest" in text
+
+
+def test_resume_flag_defaults_to_local_queue_dir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code, _ = run_cli(
+        "sweep", "fig3", "--scale", "quick", "--resume",
+        "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert code == 0
+    assert (tmp_path / ".repro_queue").is_dir()
+
+
+def test_sweep_worker_drains_a_standalone_queue(tmp_path):
+    from repro.config import SystemConfig
+    from repro.harness.coordinator import WorkQueue
+    from repro.harness.experiment import MeasureWindow
+    from repro.harness.sweep import MODEL_VERSION, SweepJob, job_digest
+    from repro.workloads.microbench import MicrobenchSpec
+
+    job = SweepJob(
+        config=SystemConfig(threads_per_core=2),
+        spec=MicrobenchSpec(work_count=10),
+        window=MeasureWindow(warmup_us=2.0, measure_us=8.0),
+    )
+    key = job_digest(job, "salt+metrics")
+    queue = WorkQueue.ensure(
+        tmp_path / "queue" / "unit", name="unit", salt="salt+metrics",
+        model_version=MODEL_VERSION, keys=[key],
+    )
+    queue.enqueue(key, job)
+    code, text = run_cli(
+        "sweep-worker", "--queue", str(tmp_path / "queue"),
+        "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert code == 0
+    assert "queues        : 1 drained" in text
+    assert "claims        : 1 (1 done, 0 failed, 0 cache hits)" in text
+    assert queue.unresolved() == 0
+
+
+def test_sweep_surfaces_failed_jobs_in_exit_code(monkeypatch):
+    from repro.harness import sweep as sweep_mod
+
+    def _always_fails(job, collect_metrics, check_invariants):
+        raise ValueError("injected CLI fault")
+
+    monkeypatch.setattr(sweep_mod, "_execute_job", _always_fails)
+    code, text = run_cli("sweep", "fig3", "--scale", "quick", "--no-cache")
+    assert code == 1
+    assert "FAILED" in text
+    assert "ValueError: injected CLI fault" in text
+
+
+def test_engine_flags_accept_failure_tuning(tmp_path):
+    code, _ = run_cli(
+        "sweep", "fig3", "--scale", "quick", "--no-cache",
+        "--timeout-s", "120", "--retries", "2",
+    )
+    assert code == 0
