@@ -49,6 +49,7 @@ def default_checkers() -> List[Checker]:
     )
     from repro.analysis.checkers.observability import (
         ProbeNameChecker,
+        SpanGuardChecker,
         TraceGuardChecker,
     )
     from repro.analysis.checkers.units import (
@@ -67,6 +68,7 @@ def default_checkers() -> List[Checker]:
         MagicUnitLiteralChecker(),
         UnitSuffixChecker(),
         TraceGuardChecker(),
+        SpanGuardChecker(),
         ProbeNameChecker(),
     ]
 

@@ -13,10 +13,18 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.checkers import Checker, ancestors, dotted
 
-__all__ = ["TraceGuardChecker", "ProbeNameChecker"]
+__all__ = ["TraceGuardChecker", "SpanGuardChecker", "ProbeNameChecker"]
 
 #: Tracer emission methods (see repro.obs.tracer.Tracer).
-_EMIT_METHODS = frozenset({"complete", "counter", "instant"})
+_EMIT_METHODS = frozenset({"complete", "counter", "instant", "async_span"})
+
+#: Span-layer emission methods, by the receiver name they hang off:
+#: a request-span cursor is conventionally bound to ``span`` (see
+#: repro.runtime.api.AccessContext.span), the ledger to ``spans``.
+_SPAN_EMIT = {
+    "span": frozenset({"mark"}),
+    "spans": frozenset({"open", "close"}),
+}
 
 
 def _tracer_receiver(call: ast.Call) -> Optional[str]:
@@ -118,6 +126,53 @@ class TraceGuardChecker(Checker):
                 f"{receiver}.{node.func.attr}() is not behind a "
                 f"'{receiver} is not None' guard; emission must be "
                 "zero-cost when tracing is off",
+            )
+
+
+def _span_receiver(call: ast.Call) -> Optional[str]:
+    """Dotted receiver when this is a span-layer emission:
+    ``<...>.span.mark()`` / ``span.mark()`` or ``<...>.spans.open()`` /
+    ``spans.close()``."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    receiver = dotted(call.func.value)
+    if receiver is None:
+        return None
+    tail = receiver.rsplit(".", 1)[-1]
+    methods = _SPAN_EMIT.get(tail)
+    if methods is None or call.func.attr not in methods:
+        return None
+    return receiver
+
+
+class SpanGuardChecker(Checker):
+    """SIM404: span emission without an ``is not None`` guard.
+
+    The span layer promises the same zero-cost-when-off discipline as
+    the tracer: components hold a ``span``/``spans`` attribute
+    defaulting to ``None`` and guard every ``mark``/``open``/``close``
+    on an already-loaded local.  The attribution module itself is
+    exempt -- inside :mod:`repro.obs.spans` the ledger and its spans
+    are ``self``, never optional attributes.
+    """
+
+    codes = ("SIM404",)
+
+    def check(self, module) -> Iterable:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            receiver = _span_receiver(node)
+            if receiver is None:
+                continue
+            if _is_guarded(node, receiver):
+                continue
+            yield module.finding(
+                "SIM404",
+                node,
+                f"{receiver}.{node.func.attr}() is not behind a "
+                f"'{receiver} is not None' guard; span emission must "
+                "be zero-cost when attribution is off",
             )
 
 

@@ -137,6 +137,13 @@ _ALL = [
         "a metric name built from id()/hash()/object repr/uuid/wall "
         "time changes every run, so snapshots never diff clean",
     ),
+    CodeInfo(
+        "SIM404",
+        "unguarded span emission",
+        "span.mark() / spans.open() / spans.close() outside an "
+        "'is not None' guard breaks the spans-off zero-cost contract "
+        "(BENCH_attrib gates it) and crashes unattributed runs",
+    ),
 ]
 
 #: code -> :class:`CodeInfo`, the single source of truth for docs,

@@ -168,36 +168,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the memcached workload as an open-loop service and "
              "report tail-latency SLO metrics (p50/p99/p999, jitter)",
     )
-    serve.add_argument("--rate", type=float, default=0.2, metavar="R",
-                       help="offered load, requests/us per core (default 0.2)")
-    serve.add_argument("--arrivals", choices=("poisson", "mmpp"),
-                       default="poisson", help="interarrival process")
-    serve.add_argument("--burst-ratio", type=float, default=8.0,
-                       help="MMPP burst-state rate multiplier (default 8)")
-    serve.add_argument("--burst-fraction", type=float, default=0.1,
-                       help="MMPP fraction of time in the burst state")
-    serve.add_argument("--dwell-us", type=float, default=20.0,
-                       help="MMPP mean burst dwell time in us")
-    serve.add_argument("--theta", type=float, default=0.0,
-                       help="Zipfian key skew in [0, 1); 0 = uniform")
-    serve.add_argument("--items", type=int, default=2048,
-                       help="key-value store size (and key space)")
-    serve.add_argument("--mechanism", choices=sorted(_MECHANISMS),
-                       default="software-queue")
-    serve.add_argument("--workers", type=int, default=8,
-                       help="polling service workers per core (default 8)")
-    serve.add_argument("--cores", type=int, default=1)
-    serve.add_argument("--latency-us", type=float, default=1.0)
-    serve.add_argument("--ring", type=int, default=None, metavar="N",
-                       help="SWQ ring entries per core (power of two; "
-                            "default: config default)")
-    serve.add_argument("--seed", type=int, default=1,
-                       help="load-generator seed (arrivals and keys)")
-    serve.add_argument("--warmup-us", type=float, default=40.0)
-    serve.add_argument("--measure-us", type=float, default=400.0)
-    serve.add_argument("--check-invariants", action="store_true",
-                       help="run the online invariant sanitizer alongside "
-                            "the simulation (passive; results unchanged)")
+    _add_service_flags(serve)
+
+    explain = commands.add_parser(
+        "explain",
+        help="run the open-loop service with request-scoped spans and "
+             "attribute tail latency to layers (queue / sq / device / "
+             "cq / work), with exemplar span trees for the slowest "
+             "requests",
+    )
+    _add_service_flags(explain)
+    explain.add_argument(
+        "--top", type=int, default=8, metavar="K",
+        help="retain complete span trees for the K slowest requests "
+             "(default 8)",
+    )
+    explain.add_argument(
+        "--exemplars-out", metavar="FILE", default=None,
+        help="dump the exemplar span trees (K slowest + stratified "
+             "p50/p90/p99) as JSON",
+    )
+    explain.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="record a Chrome trace of the run with the exemplar span "
+             "trees overlaid as async spans (open at "
+             "https://ui.perfetto.dev)",
+    )
 
     app = commands.add_parser("app", help="run one application study")
     app.add_argument("name", choices=sorted(APPLICATIONS))
@@ -264,6 +260,40 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("list", help="list figures and applications")
     commands.add_parser("table1", help="print the paper's Table I taxonomy")
     return parser
+
+
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    """Open-loop service flags shared by ``serve`` and ``explain``."""
+    parser.add_argument("--rate", type=float, default=0.2, metavar="R",
+                        help="offered load, requests/us per core (default 0.2)")
+    parser.add_argument("--arrivals", choices=("poisson", "mmpp"),
+                        default="poisson", help="interarrival process")
+    parser.add_argument("--burst-ratio", type=float, default=8.0,
+                        help="MMPP burst-state rate multiplier (default 8)")
+    parser.add_argument("--burst-fraction", type=float, default=0.1,
+                        help="MMPP fraction of time in the burst state")
+    parser.add_argument("--dwell-us", type=float, default=20.0,
+                        help="MMPP mean burst dwell time in us")
+    parser.add_argument("--theta", type=float, default=0.0,
+                        help="Zipfian key skew in [0, 1); 0 = uniform")
+    parser.add_argument("--items", type=int, default=2048,
+                        help="key-value store size (and key space)")
+    parser.add_argument("--mechanism", choices=sorted(_MECHANISMS),
+                        default="software-queue")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="polling service workers per core (default 8)")
+    parser.add_argument("--cores", type=int, default=1)
+    parser.add_argument("--latency-us", type=float, default=1.0)
+    parser.add_argument("--ring", type=int, default=None, metavar="N",
+                        help="SWQ ring entries per core (power of two; "
+                             "default: config default)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="load-generator seed (arrivals and keys)")
+    parser.add_argument("--warmup-us", type=float, default=40.0)
+    parser.add_argument("--measure-us", type=float, default=400.0)
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="run the online invariant sanitizer alongside "
+                             "the simulation (passive; results unchanged)")
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -684,9 +714,10 @@ def _command_sweep_worker(args: argparse.Namespace, out, record=None) -> int:
     return 0
 
 
-def _command_serve(args: argparse.Namespace, out, record=None) -> int:
+def _service_inputs(args: argparse.Namespace):
+    """(config, params, window) for a ``serve``/``explain`` invocation."""
     from repro.config import SwqConfig
-    from repro.harness.service import ServiceParams, run_service
+    from repro.harness.service import ServiceParams
     from repro.workloads.loadgen import (
         ArrivalKind,
         ArrivalSpec,
@@ -717,8 +748,17 @@ def _command_serve(args: argparse.Namespace, out, record=None) -> int:
         open_loop=spec,
         items=args.items,
         workers_per_core=args.workers,
+        spans=getattr(args, "top", None) is not None,
+        span_exemplars=getattr(args, "top", None) or 8,
     )
     window = MeasureWindow(warmup_us=args.warmup_us, measure_us=args.measure_us)
+    return config, params, window
+
+
+def _command_serve(args: argparse.Namespace, out, record=None) -> int:
+    from repro.harness.service import run_service
+
+    config, params, window = _service_inputs(args)
     result = run_service(
         config, params, window, check_invariants=args.check_invariants
     )
@@ -746,6 +786,106 @@ def _command_serve(args: argparse.Namespace, out, record=None) -> int:
           file=out)
     print(f"host queue    : {result.queue_depth_mean:.2f} mean / "
           f"{result.queue_depth_max:.0f} max requests waiting", file=out)
+    return 0
+
+
+def _command_explain(args: argparse.Namespace, out, record=None) -> int:
+    import json
+
+    from repro.harness.service import run_service
+    from repro.obs import PID_SERVICE, TraceConfig, Tracer
+    from repro.obs.spans import SEGMENTS, emit_exemplar_trace
+    from repro.obs.validate import validate_trace
+
+    config, params, window = _service_inputs(args)
+    tracer = None
+    if args.trace_out:
+        tracer = Tracer(
+            TraceConfig(tracks=frozenset({"service", "swq", "spans"}))
+        )
+    result = run_service(
+        config, params, window, tracer=tracer,
+        check_invariants=args.check_invariants,
+    )
+    attribution = result.attribution
+    exemplars = result.exemplars
+    if record is not None:
+        record["config_digest"] = stable_digest(config, params, window)
+        record["check_invariants"] = args.check_invariants
+        record["results"] = {
+            "attribution": attribution,
+            "exemplars_digest": runlog.digest_of(exemplars),
+            "p99_ns": result.p99_ns,
+        }
+
+    def us(ns: float) -> float:
+        return ns / units.US * units.NS
+
+    conservation = attribution["conservation"]
+    print(f"configuration : {config.describe()}", file=out)
+    print(f"load          : {args.arrivals} arrivals, "
+          f"{result.offered_per_core_us:g} req/us/core offered, "
+          f"zipf theta {args.theta:g}", file=out)
+    print(f"requests      : {attribution['requests']} completed in the "
+          f"measurement window ({conservation['in_flight']} still in "
+          f"flight at end)", file=out)
+    sojourn = attribution["sojourn"]
+    print(f"sojourn       : p99 {us(sojourn['p99_ns']):.2f} us, "
+          f"mean {us(sojourn['mean_ns']):.2f} us", file=out)
+    print("", file=out)
+    print("layer attribution (measurement window):", file=out)
+    print(f"  {'segment':<8} {'mean/req':>10} {'p99':>10} "
+          f"{'total':>11} {'share':>7}", file=out)
+    for name in SEGMENTS:
+        row = attribution["segments"][name]
+        print(f"  {name:<8} {us(row['mean_ns']):>7.2f} us "
+              f"{us(row['p99_ns']):>7.2f} us {us(row['total_ns']):>8.1f} us "
+              f"{row['share']:>6.1%}", file=out)
+    for core, rows in attribution["per_core"].items():
+        shares = "  ".join(
+            f"{name} {rows[name]['share']:.1%}" for name in SEGMENTS
+        )
+        print(f"  {core:<8} {shares}", file=out)
+    print(f"conservation  : segment sums equal measured sojourn on all "
+          f"{conservation['checked']}/{conservation['closed']} closed "
+          f"requests ({conservation['segments_ticks']} == "
+          f"{conservation['sojourn_ticks']} ticks aggregate)", file=out)
+    print("", file=out)
+    print(f"tail exemplars ({len(exemplars['slowest'])} slowest):", file=out)
+    for rank, tree in enumerate(exemplars["slowest"], start=1):
+        totals = dict.fromkeys(SEGMENTS, 0)
+        for name, begin, end in tree["segments"]:
+            totals[name] += end - begin
+        breakdown = " + ".join(
+            f"{name} {units.to_us(ticks):.2f}" for name, ticks in totals.items()
+        )
+        print(f"  #{rank} seq={tree['seq']} core{tree['core']} "
+              f"key={tree['key']}: {units.to_us(tree['sojourn_ticks']):.2f} us"
+              f" = {breakdown}", file=out)
+    stratified = ", ".join(
+        f"{label} seq={tree['seq']} {units.to_us(tree['sojourn_ticks']):.2f} us"
+        for label, tree in exemplars["stratified"].items()
+    )
+    print(f"stratified    : {stratified}", file=out)
+    if args.exemplars_out:
+        with open(args.exemplars_out, "w") as handle:
+            json.dump(exemplars, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"exemplars     : written to {args.exemplars_out}", file=out)
+    if tracer is not None:
+        trees = emit_exemplar_trace(tracer, exemplars, PID_SERVICE)
+        tracer.write(args.trace_out)
+        summary = tracer.summary()
+        if record is not None:
+            record["trace_digest"] = runlog.digest_of(tracer.to_dict())
+        print(f"trace written : {args.trace_out}  ({trees} exemplar span "
+              f"trees over {summary['events']} events; open at "
+              f"https://ui.perfetto.dev)", file=out)
+        errors = validate_trace(tracer.to_dict())
+        if errors:
+            print(f"INVALID trace : {len(errors)} schema error(s); "
+                  f"first: {errors[0]}", file=out)
+            return 1
     return 0
 
 
@@ -976,8 +1116,8 @@ def _command_list(out) -> int:
 
 #: Commands that append a provenance record to the run ledger.
 _RECORDED_COMMANDS = frozenset(
-    {"run", "serve", "trace", "figure", "sweep", "sweep-worker", "app",
-     "profile"}
+    {"run", "serve", "explain", "trace", "figure", "sweep", "sweep-worker",
+     "app", "profile"}
 )
 
 
@@ -986,6 +1126,8 @@ def _dispatch(args: argparse.Namespace, out, record) -> int:
         return _command_run(args, out, record)
     if args.command == "serve":
         return _command_serve(args, out, record)
+    if args.command == "explain":
+        return _command_explain(args, out, record)
     if args.command == "trace":
         return _command_trace(args, out, record)
     if args.command == "figure":

@@ -312,12 +312,6 @@ class SwqEmulator:
             )
         )
         queue_pair = self.queue_pairs[descriptor.core_id]
-        completion = Completion(
-            thread_id=descriptor.thread_id,
-            device_addr=descriptor.device_addr,
-            response_addr=descriptor.response_addr,
-            data=data,
-        )
         self.link.upstream.send(
             Tlp(
                 TlpKind.MEM_WRITE,
@@ -325,8 +319,25 @@ class SwqEmulator:
                 payload_bytes=self.swq_config.completion_bytes,
                 requester="swq-emulator",
                 context=DmaWriteRequest(
-                    on_commit=lambda: queue_pair.device_post_completion(completion)
+                    on_commit=lambda: self._post_completion(
+                        queue_pair, descriptor, data
+                    )
                 ),
+            )
+        )
+
+    def _post_completion(
+        self, queue_pair: QueuePair, descriptor: Descriptor, data: bytes
+    ) -> None:
+        """Build the completion entry at DMA-commit time so its
+        ``posted_at`` stamp is the tick it became host-visible."""
+        queue_pair.device_post_completion(
+            Completion(
+                thread_id=descriptor.thread_id,
+                device_addr=descriptor.device_addr,
+                response_addr=descriptor.response_addr,
+                data=data,
+                posted_at=self.sim.now,
             )
         )
 

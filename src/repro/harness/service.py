@@ -39,10 +39,21 @@ class ServiceParams:
     work_count: int = 200
     #: Polling worker uthreads per logical core.
     workers_per_core: int = 8
+    #: Request-scoped latency attribution (:mod:`repro.obs.spans`):
+    #: every request carries a span tree, conservation is asserted at
+    #: each completion, and the result payload gains the per-layer
+    #: attribution table plus exemplar span trees.  Off by default --
+    #: the disabled path is bit-for-bit passive (no ledger object
+    #: exists; see ``benchmarks/test_attrib_overhead.py``).
+    spans: bool = False
+    #: K-slowest exemplar reservoir size (span runs only).
+    span_exemplars: int = 8
 
     def __post_init__(self) -> None:
         if self.workers_per_core < 1:
             raise ConfigError("need at least one service worker per core")
+        if self.span_exemplars < 1:
+            raise ConfigError("need at least one span exemplar slot")
 
     def store_params(self) -> MemcachedParams:
         return MemcachedParams(
@@ -79,11 +90,17 @@ class ServiceResult:
     #: Achieved service rate over the window (requests/us, all cores).
     achieved_per_us: float
     report: dict = field(repr=False, default_factory=dict)
+    #: Per-layer attribution table (``SpanLedger.attribution()``) when
+    #: the run had spans enabled, else ``None``.
+    attribution: Optional[dict] = None
+    #: Exemplar span trees (``SpanLedger.exemplar_payload()``) when the
+    #: run had spans enabled, else ``None``.
+    exemplars: Optional[dict] = None
 
     def payload(self) -> dict:
         """JSON-able summary (cached by the sweep engine, diffed by
         the run ledger)."""
-        return {
+        payload = {
             "offered_per_core_us": self.offered_per_core_us,
             "arrivals": self.arrivals,
             "completions": self.completions,
@@ -98,6 +115,10 @@ class ServiceResult:
             "queue_depth_max": self.queue_depth_max,
             "achieved_per_us": self.achieved_per_us,
         }
+        if self.attribution is not None:
+            payload["attribution"] = self.attribution
+            payload["exemplars"] = self.exemplars
+        return payload
 
 
 def run_service(
@@ -123,6 +144,17 @@ def run_service(
         monitor = invariants.InvariantMonitor()
         tracer = monitor.tee(tracer)
     system = System(config, platform=platform, tracer=tracer)
+    ledger = None
+    if params.spans:
+        from repro.obs.spans import SpanLedger
+
+        ledger = SpanLedger(system.probes, k_slowest=params.span_exemplars)
+        # Per-core stats must exist before the measurement window
+        # toggles probe activation (see SpanLedger.prepare_cores).
+        ledger.prepare_cores(range(config.cores))
+        # Hang the ledger before the monitor attaches so its checker
+        # list includes the span-bookkeeping law.
+        system.spans = ledger
     if monitor is not None:
         monitor.attach(system)
     state = install_service(
@@ -130,6 +162,7 @@ def run_service(
         params.store_params(),
         params.open_loop,
         params.workers_per_core,
+        spans=ledger,
     )
     stats = system.run_window(window.warmup_ticks, window.measure_ticks)
     report = system.report()
@@ -143,6 +176,8 @@ def run_service(
     measure_ticks = stats.ticks
     measure_us = measure_ticks / US if measure_ticks else 0.0
     completions = state.completions.windowed
+    attribution = ledger.attribution() if ledger is not None else None
+    exemplars = ledger.exemplar_payload() if ledger is not None else None
     return ServiceResult(
         config=config,
         params=params,
@@ -160,4 +195,6 @@ def run_service(
         queue_depth_max=state.queue_depth.maximum,
         achieved_per_us=completions / measure_us if measure_us else 0.0,
         report=report,
+        attribution=attribution,
+        exemplars=exemplars,
     )

@@ -108,7 +108,10 @@ __all__ = [
 #: "4": calendar-queue scheduler -- simulation outputs are bit-for-bit
 #: unchanged, but the per-job ``kernel_stats`` payload gained the
 #: scheduler counter schema (spills, migrations, batch histogram).
-MODEL_VERSION = "4"
+#: "5": request-scoped latency attribution -- ``ServiceParams`` grew a
+#: ``spans`` flag (changing service job digests) and span-enabled
+#: service payloads carry the attribution table + exemplar span trees.
+MODEL_VERSION = "5"
 
 
 @dataclass(frozen=True)

@@ -119,6 +119,11 @@ class System:
         #: Thread-visible access latency across every context (issue to
         #: data-ready): min/mean/p50/p99/max of the killer microsecond.
         self.access_latency = self.probes.latency("access-latency")
+        #: Request-scoped attribution ledger (:class:`repro.obs.spans.
+        #: SpanLedger`); ``None`` unless a span-enabled service run
+        #: attaches one.  Every hook is guarded, matching the tracer's
+        #: zero-cost-when-off discipline.
+        self.spans = None
 
         # -- shared fabric ---------------------------------------------------
         membus_attached = config.device.attachment is DeviceAttachment.MEMORY_BUS
@@ -364,6 +369,8 @@ class System:
             runtime.register_metrics(
                 registry, f"runtime{runtime.core.core_id}"
             )
+        if self.spans is not None:
+            self.spans.register_metrics(registry, "spans")
 
     def metrics_snapshot(self) -> dict:
         """One JSON-able dump of every registered probe, now."""
@@ -564,6 +571,10 @@ class System:
         self.start()
         self.sim.run(until=self.sim.now + warmup_ticks)
         self.probes.reset_windows()
+        if self.spans is not None:
+            # Exemplar reservoirs follow the same window discipline as
+            # the probes: warmup spans never become exemplars.
+            self.spans.reset_window()
         self.probes.set_window_active(True)
         accesses_before = self._total_accesses()
         start = self.sim.now
@@ -604,7 +615,7 @@ class System:
 
     def report(self) -> dict:
         """Occupancy / bandwidth diagnostics for tests and benches."""
-        return {
+        report = {
             "lfb_max_per_core": [
                 core.memsys.lfb.max_in_flight for core in self.cores
             ],
@@ -619,13 +630,35 @@ class System:
             ],
             "device_requests": self.device.requests_served,
             "deadline_misses": self.device.delay.deadline_misses,
-            "access_latency_ns": {
-                "count": self.access_latency.count,
-                "mean": to_ns(self.access_latency.mean or 0),
-                "p50": to_ns(self.access_latency.percentile(50)),
-                "p99": to_ns(self.access_latency.percentile(99)),
-                "max": to_ns(self.access_latency.maximum or 0),
-            }
-            if self.access_latency.count
-            else None,
+            "access_latency_ns": self._latency_report(self.access_latency),
+        }
+        if self.spans is not None:
+            report["attribution"] = self.spans.attribution()
+        return report
+
+    @staticmethod
+    def _latency_report(stat) -> Optional[dict]:
+        """Window-aware latency summary in ns.  Once the measurement
+        window has recorded samples, *every* value (count/mean/max as
+        well as the percentiles) comes from the window -- the same rule
+        as ``LatencyStat.percentile`` and the registry render, which
+        previously disagreed with this report's lifetime mean/max."""
+        if stat.windowed_count:
+            count = stat.windowed_count
+            mean = stat.windowed_mean
+            maximum = stat.windowed_max
+        elif stat.count:
+            count = stat.count
+            mean = stat.mean
+            maximum = stat.maximum
+        else:
+            return None
+        return {
+            "count": count,
+            "mean": to_ns(mean),
+            "p50": to_ns(stat.percentile(50)),
+            "p99": to_ns(stat.percentile(99)),
+            "p999": to_ns(stat.percentile(99.9)),
+            "jitter": to_ns(stat.jitter),
+            "max": to_ns(maximum or 0),
         }

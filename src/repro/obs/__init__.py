@@ -19,6 +19,12 @@
 from repro.obs.invariants import InvariantMonitor, InvariantViolation, TeeTracer
 from repro.obs.registry import MetricsRegistry
 from repro.obs.runlog import LEDGER_FORMAT, RunLedger
+from repro.obs.spans import (
+    SEGMENTS,
+    RequestSpan,
+    SpanConservationError,
+    SpanLedger,
+)
 from repro.obs.tracer import (
     PID_CORES,
     PID_DEVICE,
@@ -47,4 +53,8 @@ __all__ = [
     "TeeTracer",
     "RunLedger",
     "LEDGER_FORMAT",
+    "SEGMENTS",
+    "RequestSpan",
+    "SpanConservationError",
+    "SpanLedger",
 ]

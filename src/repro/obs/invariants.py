@@ -108,6 +108,10 @@ class TeeTracer:
         for sink in self.sinks:
             sink.counter(*args, **kwargs)
 
+    def async_span(self, *args, **kwargs) -> None:
+        for sink in self.sinks:
+            sink.async_span(*args, **kwargs)
+
     def process_name(self, pid: int, name: str) -> None:
         for sink in self.sinks:
             sink.process_name(pid, name)
@@ -150,6 +154,11 @@ class InvariantMonitor:
 
     def counter(self, track, pid, name, tick, values):
         self.recent_events.append(("C", track, name, tick))
+
+    def async_span(
+        self, track, pid, tid, name, span_id, start_tick, end_tick, args=None
+    ):
+        self.recent_events.append(("b", track, name, end_tick))
 
     def process_name(self, pid: int, name: str) -> None:
         pass
@@ -212,6 +221,12 @@ class InvariantMonitor:
                 (f"swq.core{pair.core_id}",
                  lambda p=pair: self._check_queue_pair(p))
             )
+        spans = getattr(system, "spans", None)
+        if spans is not None:
+            # The span ledger asserts per-request conservation itself
+            # at every close; this re-checks its aggregate books
+            # (opened/closed balance, reservoir bounds) periodically.
+            add(("obs.spans", spans.check))
 
     def check_now(self) -> None:
         """Run every check at the current tick; raise on the first

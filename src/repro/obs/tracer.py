@@ -58,9 +58,12 @@ __all__ = [
 #:   and host-queue depth counters (the SLO layer)
 #: * ``kernel`` -- simulation-kernel scheduler gauges (calendar bucket
 #:   occupancy, overflow backlog, due-batch size), sampled per interval
+#: * ``spans`` -- per-request attribution exemplars rendered as async
+#:   (``ph: b/e``) span trees (:mod:`repro.obs.spans`), overlaying the
+#:   per-layer tracks above
 TRACKS: FrozenSet[str] = frozenset(
     {"rob", "lfb", "queues", "pcie", "device", "swq", "sched", "service",
-     "kernel"}
+     "kernel", "spans"}
 )
 
 #: Process-ID groups of the rendered timeline (named via metadata
@@ -203,6 +206,49 @@ class Tracer:
         if args:
             event["args"] = args
         self._state.events.append(event)
+
+    def async_span(
+        self,
+        track: str,
+        pid: int,
+        tid: int,
+        name: str,
+        span_id: int,
+        start_tick: int,
+        end_tick: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        """An async span: a ``ph: b`` / ``ph: e`` event pair sharing
+        ``span_id``.  Async events with the same (cat, id) group into
+        one track regardless of tid, which is what lets request-scoped
+        exemplar trees overlay the per-layer duration tracks.  Exempt
+        from sampling: a thinned pair would leave an unmatched begin,
+        which the validator rightly rejects."""
+        if not self._admit(track, name, sampled=False):
+            return
+        begin: Dict[str, Any] = {
+            "name": name,
+            "cat": track,
+            "ph": "b",
+            "id": span_id,
+            "pid": pid,
+            "tid": tid,
+            "ts": start_tick / _TICKS_PER_US,
+        }
+        if args:
+            begin["args"] = args
+        self._state.events.append(begin)
+        self._state.events.append(
+            {
+                "name": name,
+                "cat": track,
+                "ph": "e",
+                "id": span_id,
+                "pid": pid,
+                "tid": tid,
+                "ts": end_tick / _TICKS_PER_US,
+            }
+        )
 
     def counter(
         self, track: str, pid: int, name: str, tick: int, values: dict

@@ -2,10 +2,23 @@
 
 Hand-rolled (the repo deliberately has no ``jsonschema`` dependency):
 checks the subset of the trace-event format we produce -- ``X``
-complete events, ``C`` counters, ``i`` instants, and ``M`` metadata --
-strictly enough to catch the mistakes that make Perfetto reject or
-mis-render a file (missing ``dur``, non-numeric ``ts``, counter args
-that are not numbers, ...).
+complete events, ``C`` counters, ``i`` instants, async ``b``/``e``
+span pairs, and ``M`` metadata -- strictly enough to catch the
+mistakes that make Perfetto reject or mis-render a file (missing
+``dur``, non-numeric ``ts``, counter args that are not numbers,
+unbalanced async pairs, ...).
+
+Beyond per-event shape, two cross-event laws are enforced:
+
+* **Async balance** -- every ``b`` (async begin) must be closed by an
+  ``e`` sharing its ``(cat, id)``, and no ``e`` may appear without an
+  open ``b``; an unmatched pair renders as an unterminated smear (or
+  is silently dropped) in trace viewers.
+* **Counter-track stability** -- a counter track is keyed by
+  ``(pid, name)``; once seen, its set of series labels must stay
+  identical on every later sample.  A series that appears or vanishes
+  mid-track makes viewers re-baseline the stacked chart, so the track
+  silently changes meaning partway through the timeline.
 
 Usable as a module for tests and as a CLI for CI::
 
@@ -20,7 +33,7 @@ from typing import Any, Optional, Sequence
 
 __all__ = ["validate_trace", "validate_file", "main"]
 
-_PHASES = {"X", "B", "E", "i", "I", "C", "M"}
+_PHASES = {"X", "B", "E", "i", "I", "C", "M", "b", "e"}
 _METADATA_NAMES = {
     "process_name",
     "process_labels",
@@ -36,6 +49,16 @@ def _is_number(value: Any) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def _async_id_ok(value: Any) -> bool:
+    """Async ``id`` must be an integer or non-empty string (the two
+    forms trace viewers group by; bools and floats mis-group)."""
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, int):
+        return True
+    return isinstance(value, str) and bool(value)
+
+
 def validate_trace(data: Any) -> list[str]:
     """Validate a parsed trace object; returns a list of error strings
     (empty when the trace is valid)."""
@@ -45,17 +68,69 @@ def validate_trace(data: Any) -> list[str]:
     if not isinstance(events, list):
         return ["traceEvents must be a list"]
     errors: list[str] = []
+    #: (cat, id) -> [open depth, index of last unmatched 'b'].
+    async_open: dict = {}
+    #: (pid, name) -> (first index, frozenset of series labels).
+    counter_series: dict = {}
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         try:
-            errors.extend(_validate_event(where, event))
+            event_errors = _validate_event(where, event)
+            errors.extend(event_errors)
+            if not event_errors:
+                errors.extend(
+                    _track_cross_event(
+                        where, index, event, async_open, counter_series
+                    )
+                )
         except Exception as error:  # backstop: a malformed event must
             # produce a located error, never a traceback for the whole file
             errors.append(
                 f"{where}: malformed event "
                 f"({type(error).__name__}: {error})"
             )
+    for (cat, span_id), (depth, last_begin) in sorted(
+        async_open.items(), key=lambda item: item[1][1]
+    ):
+        if depth > 0:
+            errors.append(
+                f"traceEvents[{last_begin}]: async begin (cat={cat!r}, "
+                f"id={span_id!r}) never closed by a matching 'e'"
+            )
     return errors
+
+
+def _track_cross_event(
+    where: str, index: int, event: dict, async_open: dict,
+    counter_series: dict,
+) -> list[str]:
+    """Stateful checks spanning events (called only on shape-clean
+    events, so field accesses here are safe)."""
+    phase = event.get("ph")
+    if phase in ("b", "e"):
+        key = (event["cat"], event["id"])
+        depth, last_begin = async_open.get(key, (0, index))
+        if phase == "b":
+            async_open[key] = (depth + 1, index)
+        elif depth < 1:
+            return [
+                f"{where}: async end (cat={key[0]!r}, id={key[1]!r}) "
+                "without an open matching 'b'"
+            ]
+        else:
+            async_open[key] = (depth - 1, last_begin)
+    elif phase == "C":
+        key = (event["pid"], event["name"])
+        series = frozenset(event["args"])
+        first = counter_series.setdefault(key, (index, series))
+        if series != first[1]:
+            return [
+                f"{where}: counter track (pid={key[0]}, name={key[1]!r}) "
+                f"changed series {sorted(first[1])} -> {sorted(series)} "
+                f"(first defined at traceEvents[{first[0]}]); counter "
+                "tracks must keep a stable series set"
+            ]
+    return []
 
 
 def _validate_event(where: str, event: Any) -> list[str]:
@@ -104,6 +179,18 @@ def _validate_event(where: str, event: Any) -> list[str]:
                         f"{where}: counter series {series!r} must be "
                         "a number"
                     )
+    elif phase in ("b", "e"):
+        cat = event.get("cat")
+        if not isinstance(cat, str) or not cat:
+            errors.append(
+                f"{where}: async event needs a non-empty 'cat' "
+                "(viewers group async spans by (cat, id))"
+            )
+        if not _async_id_ok(event.get("id")):
+            errors.append(
+                f"{where}: async event 'id' {event.get('id')!r} must be "
+                "an integer or non-empty string"
+            )
     elif phase in ("i", "I"):
         scope = event.get("s")
         if scope is not None and (

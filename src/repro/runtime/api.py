@@ -67,6 +67,13 @@ class AccessContext:
         #: microsecond is a tail-latency story; this is where the tail
         #: is measured.
         self.access_latency: Optional[LatencyStat] = None
+        #: Request-scoped span cursor (:class:`repro.obs.spans.
+        #: RequestSpan`) of the request this thread is currently
+        #: serving; the service worker points it at the active request
+        #: and the mechanism paths stamp layer transitions into it.
+        #: ``None`` (the default, and always the case outside span-
+        #: enabled service runs) makes every stamp a no-op.
+        self.span = None
 
     def _record_latency(self, started_at: int, tokens: Sequence[LoadToken]) -> None:
         """Record issue-to-data-ready latency once the batch lands."""
@@ -191,11 +198,18 @@ class OnDemandContext(AccessContext):
         return tokens
 
     def read_batch(self, addrs: Sequence[int]):
+        # Memory-mapped mechanisms have no SQ/CQ rings: the whole
+        # issue-to-data-ready window attributes to the device layer.
+        span = self.span
+        if span is not None:
+            span.mark("device", self.core.sim.now)
         tokens = yield from self.read_batch_async(addrs)
         values = []
         for token in tokens:
             yield from self.core.wait_data(token)
             values.append(self._word(token))
+        if span is not None:
+            span.mark("work", self.core.sim.now)
         return values
 
 
@@ -220,11 +234,16 @@ class PrefetchContext(AccessContext):
         return tokens
 
     def read_batch(self, addrs: Sequence[int]):
+        span = self.span
+        if span is not None:
+            span.mark("device", self.core.sim.now)
         tokens = yield from self.read_batch_async(addrs)
         values = []
         for token in tokens:
             yield from self.core.wait_data(token)
             values.append(self._word(token))
+        if span is not None:
+            span.mark("work", self.core.sim.now)
         return values
 
 
@@ -312,11 +331,31 @@ class SoftwareQueueContext(AccessContext):
 
     def read_batch_async(self, addrs: Sequence[int]):
         started_at = self.core.sim.now
+        span = self.span
+        if span is not None:
+            span.mark("sq", started_at)
         for slot, addr in enumerate(addrs):
             yield from self._enqueue(addr, slot)
+        if span is not None:
+            span.mark("device", self.core.sim.now)
         completions = yield BlockOnCompletions(len(addrs))
         self.accesses += len(addrs)
         self._last_completions = completions
+        if span is not None:
+            # Device time ends when the last completion's DMA write
+            # committed; the remainder until the thread resumed is the
+            # completion-poll/wakeup path (``cq``).  The post can land
+            # while the thread is still charged submission time (the
+            # kernel queue's post-doorbell switch) -- clamp to the
+            # request's own timeline: overlapped device work leaves the
+            # rest of the wait as pure completion polling.
+            posted = -1
+            for completion in completions:
+                if completion.posted_at > posted:
+                    posted = completion.posted_at
+            if posted >= 0:
+                span.mark("cq", max(posted, span.open_at))
+            span.mark("work", self.core.sim.now)
         self._record_latency(started_at, ())
         return []  # data already present; no hardware tokens
 

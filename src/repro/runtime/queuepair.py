@@ -51,6 +51,11 @@ class Completion:
     response_addr: int
     #: Functional content of the line delivered to the response buffer.
     data: bytes
+    #: Tick at which the completion's DMA write committed in host DRAM
+    #: (became host-visible).  Purely observational -- the span layer
+    #: uses it to split device time from completion-poll time; -1 means
+    #: "not stamped" (completions built outside the emulator path).
+    posted_at: int = -1
 
 
 class QueuePair:

@@ -263,6 +263,9 @@ class Request:
     started_at: int = -1
     finished_at: int = -1
     value: Optional[list] = None
+    #: Attribution span (:class:`repro.obs.spans.RequestSpan`) when the
+    #: service runs with a span ledger; ``None`` otherwise.
+    span: Optional[object] = None
 
 
 #: Seed-space offsets separating a core's arrival stream from its key
@@ -278,9 +281,15 @@ def _core_seed(base_seed: int, core_id: int, stream: int) -> int:
 class ServiceState:
     """Live state of an installed open-loop service."""
 
-    def __init__(self, system: System, spec: OpenLoopSpec) -> None:
+    def __init__(
+        self, system: System, spec: OpenLoopSpec, spans=None
+    ) -> None:
         self.system = system
         self.spec = spec
+        #: Attribution ledger (:class:`repro.obs.spans.SpanLedger`) or
+        #: ``None``; every emission below is guarded on a local so the
+        #: disabled path costs one attribute load per transition.
+        self.spans = spans
         probes = system.probes
         #: End-to-end sojourn (arrival to response): the SLO metric.
         self.sojourn = probes.latency("service-sojourn")
@@ -315,6 +324,9 @@ class ServiceState:
             )
 
     def enqueue(self, core_id: int, request: Request) -> None:
+        spans = self.spans
+        if spans is not None:
+            request.span = spans.open(request.key, core_id, request.arrived_at)
         self.queues[core_id].append(request)
         self.arrivals.add()
         self._pending += 1
@@ -326,6 +338,11 @@ class ServiceState:
             return None
         request = queue.popleft()
         request.started_at = self.system.sim.now
+        span = request.span
+        if span is not None:
+            # Worker pickup: host-queue wait ends, on-core service
+            # time begins.
+            span.mark("work", request.started_at)
         self.queue_wait.record(request.started_at - request.arrived_at)
         self._pending -= 1
         self._note_depth()
@@ -333,6 +350,9 @@ class ServiceState:
 
     def finish(self, core_id: int, request: Request) -> None:
         request.finished_at = self.system.sim.now
+        spans = self.spans
+        if spans is not None:
+            spans.close(request.span, request.finished_at)
         self.sojourn.record(request.finished_at - request.arrived_at)
         self.completions.add()
         self.completed.append(request)
@@ -383,8 +403,13 @@ def _service_worker(
         if request is None:
             yield from ctx.yield_control()
             continue
+        # Point the context's span cursor at this request so the
+        # mechanism paths stamp layer transitions into it (each worker
+        # serves one request at a time, so the slot is exclusive).
+        ctx.span = request.span
         request.value = yield from store.get(ctx, request.key)
         yield from ctx.work(params.work_count)
+        ctx.span = None
         state.finish(core_id, request)
 
 
@@ -393,6 +418,7 @@ def install_service(
     params: MemcachedParams,
     spec: OpenLoopSpec,
     workers_per_core: int,
+    spans=None,
 ) -> ServiceState:
     """Wire the open-loop memcached service into ``system``.
 
@@ -401,6 +427,10 @@ def install_service(
     one arrival-injector kernel process per core.  The injectors run
     off-core: arrival timing models network ingress and consumes no
     core cycles, so the offered load is independent of service rate.
+
+    ``spans`` (a :class:`repro.obs.spans.SpanLedger`) enables
+    per-request latency attribution; it is also hung on the system so
+    ``System.report()`` and the registry export the attribution table.
     """
     if workers_per_core < 1:
         raise ConfigError("need at least one service worker per core")
@@ -409,7 +439,9 @@ def install_service(
             "key popularity space exceeds the populated store "
             f"({spec.keys.items} > {params.items})"
         )
-    state = ServiceState(system, spec)
+    if spans is not None:
+        system.spans = spans
+    state = ServiceState(system, spec, spans=spans)
     stores: dict[int, KvStore] = {}
 
     def factory(ctx: AccessContext, core_id: int, slot: int):

@@ -1,0 +1,12 @@
+"""Bad: span emission with no liveness guard."""
+
+
+class Worker:
+    def __init__(self, spans):
+        self.spans = spans
+        self.span = None
+
+    def serve(self, request, now):
+        self.span = self.spans.open(request.key, 0, now)
+        self.span.mark("work", now)
+        self.spans.close(self.span, now)

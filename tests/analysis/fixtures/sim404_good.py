@@ -1,0 +1,17 @@
+"""Good: span emission behind the zero-cost guard on a local."""
+
+
+class Worker:
+    def __init__(self, spans):
+        self.spans = spans
+        self.span = None
+
+    def serve(self, request, now):
+        spans = self.spans
+        if spans is not None:
+            self.span = spans.open(request.key, 0, now)
+        span = self.span
+        if span is not None:
+            span.mark("work", now)
+        if spans is not None:
+            spans.close(self.span, now)

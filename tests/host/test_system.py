@@ -161,3 +161,33 @@ def test_chip_queue_config_respected():
     )
     system = System(config)
     assert system.uncore.queue(AddressSpace.DEVICE).capacity == 5
+
+
+def test_latency_report_prefers_measurement_window():
+    from repro.sim.trace import LatencyStat
+
+    stat = LatencyStat("sojourn")
+    for _ in range(10):
+        stat.record(1_000_000)  # warmup pollution
+    stat.active = True
+    for value in (100, 200, 300, 400):
+        stat.record(value)
+    report = System._latency_report(stat)
+    # Every field comes from the window: count/mean/max as well as the
+    # percentiles (they used to disagree -- lifetime mean, windowed p99).
+    assert report["count"] == 4
+    assert report["mean"] == to_ns(250)
+    assert report["max"] == to_ns(400)
+    assert report["p50"] <= report["p99"] <= report["p999"] <= report["max"]
+    assert report["jitter"] >= 0
+
+
+def test_latency_report_falls_back_to_lifetime_then_none():
+    from repro.sim.trace import LatencyStat
+
+    stat = LatencyStat("sojourn")
+    assert System._latency_report(stat) is None
+    stat.record(500)
+    report = System._latency_report(stat)
+    assert report["count"] == 1
+    assert report["mean"] == report["p50"] == report["max"] == to_ns(500)

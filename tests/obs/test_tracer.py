@@ -111,3 +111,36 @@ def test_write_and_validate_file(tmp_path):
     tracer.write(str(path))
     assert validate_file(str(path)) == []
     assert validate_file(str(tmp_path / "missing.json"))
+
+
+def test_async_span_emits_matched_begin_end_pair():
+    tracer = Tracer()
+    tracer.async_span("spans", 5, 99, "request", 17, 1_000_000, 3_000_000,
+                      args={"key": 4})
+    begin, end = tracer.events
+    assert begin["ph"] == "b" and end["ph"] == "e"
+    assert begin["cat"] == end["cat"] == "spans"
+    assert begin["id"] == end["id"] == 17
+    assert begin["ts"] == pytest.approx(1.0)
+    assert end["ts"] == pytest.approx(3.0)
+    assert begin["args"] == {"key": 4}
+    assert "args" not in end
+    assert validate_trace(tracer.to_dict()) == []
+
+
+def test_async_span_respects_track_filter():
+    tracer = Tracer(TraceConfig(tracks=frozenset({"rob"})))
+    tracer.async_span("spans", 5, 99, "request", 1, 0, 10)
+    assert tracer.events == []
+
+
+def test_async_span_is_exempt_from_sampling():
+    # A thinned pair would leave an unmatched begin; async spans must
+    # bypass the 1-in-N sampler entirely.
+    tracer = Tracer(TraceConfig(sample_every=4))
+    for i in range(8):
+        tracer.async_span("spans", 5, 99, "request", i, i * 10, i * 10 + 5)
+    begins = [e for e in tracer.events if e["ph"] == "b"]
+    ends = [e for e in tracer.events if e["ph"] == "e"]
+    assert len(begins) == len(ends) == 8
+    assert validate_trace(tracer.to_dict()) == []

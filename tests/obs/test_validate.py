@@ -9,6 +9,8 @@ checks.
 
 import json
 
+import pytest
+
 from repro.obs.validate import main, validate_trace
 
 
@@ -45,6 +47,99 @@ def test_error_carries_offending_index_among_valid_events():
     errors = validate_trace({"traceEvents": events})
     assert len(errors) == 1
     assert "traceEvents[2]" in errors[0]
+
+
+def _async(ph, span_id=7, cat="spans", ts=5, **overrides):
+    event = {"name": "req", "ph": ph, "cat": cat, "id": span_id,
+             "pid": 1, "tid": 1, "ts": ts}
+    event.update(overrides)
+    return event
+
+
+def test_balanced_async_pair_is_valid():
+    errors = validate_trace(
+        {"traceEvents": [_async("b"), _async("e", ts=9)]}
+    )
+    assert errors == []
+
+
+def test_nested_async_spans_sharing_id_are_valid():
+    events = [_async("b"), _async("b", ts=6, name="seg"),
+              _async("e", ts=8, name="seg"), _async("e", ts=9)]
+    assert validate_trace({"traceEvents": events}) == []
+
+
+def test_unclosed_async_begin_reports_its_index():
+    events = [_async("b"), _async("e", ts=9), _async("b", ts=10)]
+    errors = validate_trace({"traceEvents": events})
+    assert len(errors) == 1
+    assert errors[0].startswith("traceEvents[2]:")
+    assert "never closed" in errors[0]
+
+
+def test_async_end_without_begin_is_an_error():
+    errors = validate_trace({"traceEvents": [_async("e")]})
+    assert len(errors) == 1
+    assert "without an open matching 'b'" in errors[0]
+
+
+def test_async_pairs_match_on_cat_and_id_not_name():
+    # Same id, different cat: the 'e' does not close the 'b'.
+    events = [_async("b", cat="spans"), _async("e", cat="service", ts=9)]
+    errors = validate_trace({"traceEvents": events})
+    assert len(errors) == 2
+    assert any("without an open" in error for error in errors)
+    assert any("never closed" in error for error in errors)
+
+
+@pytest.mark.parametrize("bad_id", [None, True, 1.5, ""])
+def test_malformed_async_id_reports_index_not_traceback(bad_id):
+    errors = validate_trace({"traceEvents": [_async("b", span_id=bad_id)]})
+    assert len(errors) == 1
+    assert errors[0].startswith("traceEvents[0]:")
+    assert "'id'" in errors[0]
+
+
+def test_async_event_requires_nonempty_cat():
+    errors = validate_trace({"traceEvents": [_async("b", cat="")]})
+    assert len(errors) == 1
+    assert "cat" in errors[0]
+
+
+def test_malformed_async_event_does_not_poison_balance_tracking():
+    # The shape-invalid 'b' is not entered into the balance books, so
+    # the only errors are the shape error and the dangling valid 'b'.
+    events = [_async("b", span_id=""), _async("b")]
+    errors = validate_trace({"traceEvents": events})
+    assert len(errors) == 2
+    assert errors[0].startswith("traceEvents[0]:")
+    assert "never closed" in errors[1]
+
+
+def test_counter_track_with_stable_series_is_valid():
+    counter = {"name": "occupancy", "ph": "C", "pid": 1, "tid": 1,
+               "ts": 1, "args": {"used": 1, "free": 3}}
+    later = dict(counter, ts=2, args={"free": 2, "used": 2})
+    assert validate_trace({"traceEvents": [counter, later]}) == []
+
+
+def test_counter_track_series_change_is_an_error():
+    counter = {"name": "occupancy", "ph": "C", "pid": 1, "tid": 1,
+               "ts": 1, "args": {"used": 1}}
+    changed = dict(counter, ts=2, args={"used": 1, "leaked": 0})
+    errors = validate_trace({"traceEvents": [counter, changed]})
+    assert len(errors) == 1
+    assert "changed series" in errors[0]
+    assert "traceEvents[1]" in errors[0]
+    assert "first defined at traceEvents[0]" in errors[0]
+
+
+def test_counter_tracks_are_keyed_by_pid_and_name():
+    # Same name on another pid is a different track: no error.
+    counter = {"name": "occupancy", "ph": "C", "pid": 1, "tid": 1,
+               "ts": 1, "args": {"used": 1}}
+    other_pid = dict(counter, pid=2, args={"free": 1})
+    assert validate_trace({"traceEvents": [counter, other_pid]}) == []
 
 
 def test_cli_exits_nonzero_on_malformed_trace(tmp_path, capsys):

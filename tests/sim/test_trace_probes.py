@@ -244,3 +244,71 @@ def test_percentile_of_sorted_reference():
     assert percentile_of_sorted([1, 2, 3, 4], 50) == pytest.approx(2.5)
     assert percentile_of_sorted([1, 2, 3, 4], 0) == 1
     assert percentile_of_sorted([1, 2, 3, 4], 100) == 4
+
+
+def test_percentile_of_sorted_clamps_out_of_range_p():
+    ordered = [10, 20, 30]
+    assert percentile_of_sorted(ordered, -5) == 10
+    assert percentile_of_sorted(ordered, 0) == 10
+    assert percentile_of_sorted(ordered, 100) == 30
+    assert percentile_of_sorted(ordered, 250) == 30
+
+
+def test_percentile_of_sorted_interpolates_between_neighbours():
+    ordered = [0, 100]
+    assert percentile_of_sorted(ordered, 25) == pytest.approx(25.0)
+    assert percentile_of_sorted(ordered, 99.9) == pytest.approx(99.9)
+    # Ranks landing exactly on a sample return it un-interpolated.
+    assert percentile_of_sorted([1, 2, 3], 50) == 2.0
+
+
+def test_percentile_of_sorted_single_sample_every_p():
+    for p in (-1, 0, 37.5, 50, 99.9, 100, 1000):
+        assert percentile_of_sorted([42], p) == 42.0
+
+
+def test_percentile_of_sorted_returns_float_type():
+    value = percentile_of_sorted([7], 50)
+    assert isinstance(value, float) and value == 7.0
+
+
+def test_latency_stat_percentile_empty_is_nan():
+    import math
+
+    stat = LatencyStat("empty")
+    assert math.isnan(stat.percentile(50))
+    assert math.isnan(stat.lifetime_percentile(99))
+    assert math.isnan(stat.windowed_percentile(99))
+
+
+def test_latency_stat_windowed_percentile_nan_before_window_samples():
+    import math
+
+    stat = LatencyStat("warming")
+    stat.record(100)  # warmup only
+    assert math.isnan(stat.windowed_percentile(50))
+    # ...but the window-aware accessor falls back to lifetime.
+    assert stat.percentile(50) == 100.0
+
+
+def test_latency_stat_percentile_clamps_extreme_p():
+    stat = LatencyStat("clamp")
+    stat.active = True
+    for value in (10, 20, 30, 40):
+        stat.record(value)
+    assert stat.percentile(-10) == 10.0
+    assert stat.percentile(0) == 10.0
+    assert stat.percentile(100) == 40.0
+    assert stat.percentile(999) == 40.0
+
+
+def test_latency_stat_switches_to_window_on_first_windowed_sample():
+    stat = LatencyStat("switch")
+    for _ in range(50):
+        stat.record(1_000_000)  # warmup pollution
+    stat.active = True
+    stat.record(10)
+    # One windowed observation flips every percentile to the window.
+    assert stat.percentile(50) == 10.0
+    assert stat.percentile(99.9) == 10.0
+    assert stat.lifetime_percentile(50) == 1_000_000.0

@@ -128,6 +128,68 @@ def test_serve_rejects_bad_ring():
         )
 
 
+_EXPLAIN_ARGS = (
+    "explain", "--rate", "0.2", "--workers", "8",
+    "--warmup-us", "10", "--measure-us", "60",
+)
+
+
+def test_explain_reports_layer_attribution():
+    code, text = run_cli(*_EXPLAIN_ARGS)
+    assert code == 0
+    assert "layer attribution (measurement window):" in text
+    for segment in ("queue", "sq", "device", "cq", "work"):
+        assert segment in text
+    assert "ticks aggregate" in text  # the conservation line
+    assert "tail exemplars" in text
+    assert "stratified" in text
+
+
+def test_explain_writes_exemplars_and_valid_trace(tmp_path):
+    import json
+
+    from repro.obs.validate import validate_file
+
+    exemplars_path = tmp_path / "exemplars.json"
+    trace_path = tmp_path / "trace.json"
+    code, text = run_cli(
+        *_EXPLAIN_ARGS, "--top", "3",
+        "--exemplars-out", str(exemplars_path),
+        "--trace-out", str(trace_path),
+    )
+    assert code == 0
+    assert "INVALID trace" not in text
+    exemplars = json.loads(exemplars_path.read_text())
+    assert 1 <= len(exemplars["slowest"]) <= 3
+    assert set(exemplars["stratified"]) == {"p50", "p90", "p99"}
+    for tree in exemplars["slowest"]:
+        total = sum(end - begin for _n, begin, end in tree["segments"])
+        assert total == tree["sojourn_ticks"]
+    assert validate_file(str(trace_path)) == []
+
+
+def test_explain_records_attribution_in_ledger():
+    from repro.obs.runlog import RunLedger
+
+    run_cli(*_EXPLAIN_ARGS)
+    entry = RunLedger().resolve("-1")
+    assert entry["command"] == "explain"
+    assert entry["status"] == 0
+    attribution = entry["results"]["attribution"]
+    conservation = attribution["conservation"]
+    assert conservation["sojourn_ticks"] == conservation["segments_ticks"]
+    shares = sum(
+        row["share"] for row in attribution["segments"].values()
+    )
+    assert shares == pytest.approx(1.0)
+
+
+def test_explain_with_invariants_clean():
+    code, text = run_cli(*_EXPLAIN_ARGS, "--check-invariants")
+    assert code == 0
+    assert "layer attribution" in text
+
+
 def test_figure_command_with_csv(tmp_path):
     csv_path = tmp_path / "fig.csv"
     code, text = run_cli("figure", "fig3", "--scale", "quick",
